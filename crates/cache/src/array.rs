@@ -1,0 +1,295 @@
+//! Generic set-associative cache array with LRU and reserved-way fills.
+
+use commtm_mem::{LineAddr, LineData};
+
+use crate::geometry::CacheGeometry;
+
+/// One resident cache line: tag, data, caller-defined metadata.
+#[derive(Clone, Debug)]
+pub struct Entry<M> {
+    /// The line address this entry caches.
+    pub tag: LineAddr,
+    /// The cached data.
+    pub data: LineData,
+    /// Level-specific metadata (state, spec bits, directory info...).
+    pub meta: M,
+    lru: u64,
+}
+
+/// How a fill is classified for the paper's reserved-way policy
+/// (Sec. III-B4): one way per set is reserved for data with permissions
+/// other than U, and misses from reduction handlers always fill that way,
+/// so handler misses can never evict reducible data (which would require a
+/// nested reduction and could deadlock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionClass {
+    /// Ordinary non-reducible data: may occupy any way.
+    NonReducible,
+    /// U-state data: must not occupy the reserved way.
+    Reducible,
+    /// A fill issued by a reduction handler or splitter: uses the reserved
+    /// way only.
+    Handler,
+}
+
+/// The result of a fill: the victim entry, if one had to be evicted.
+#[derive(Debug)]
+pub struct FillOutcome<M> {
+    /// The evicted entry, for the caller to write back or abort on.
+    pub victim: Option<Entry<M>>,
+}
+
+/// A set-associative array with LRU replacement, generic over per-line
+/// metadata.
+///
+/// # Example
+///
+/// ```
+/// use commtm_cache::{CacheArray, CacheGeometry, EvictionClass};
+/// use commtm_mem::{LineAddr, LineData};
+///
+/// let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(2, 2));
+/// c.fill(LineAddr::new(4), LineData::zeroed(), 7, EvictionClass::NonReducible);
+/// assert_eq!(c.get(LineAddr::new(4)).unwrap().meta, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheArray<M> {
+    geom: CacheGeometry,
+    slots: Vec<Option<Entry<M>>>,
+    tick: u64,
+}
+
+impl<M> CacheArray<M> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(geom.lines(), || None);
+        CacheArray { geom, slots, tick: 0 }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// Looks up a line without updating recency.
+    pub fn peek(&self, line: LineAddr) -> Option<&Entry<M>> {
+        self.set_slots(line).iter().flatten().find(|e| e.tag == line)
+    }
+
+    /// Looks up a line and marks it most-recently used.
+    pub fn get(&mut self, line: LineAddr) -> Option<&mut Entry<M>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (base, ways) = self.set_range(line);
+        self.slots[base..base + ways]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.tag == line)
+            .map(|e| {
+                e.lru = tick;
+                e
+            })
+    }
+
+    /// Whether a line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts a line, evicting a victim if the set is full.
+    ///
+    /// Way 0 of every set is the *reserved way*: [`EvictionClass::Handler`]
+    /// fills use only way 0, and [`EvictionClass::Reducible`] fills avoid
+    /// it (unless the cache is direct-mapped, where reservation is
+    /// meaningless and disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already resident.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        meta: M,
+        class: EvictionClass,
+    ) -> FillOutcome<M> {
+        debug_assert!(!self.contains(line), "fill of resident line {line}");
+        self.tick += 1;
+        let tick = self.tick;
+        let (base, ways) = self.set_range(line);
+        let (lo, hi) = match class {
+            EvictionClass::Handler if ways > 1 => (0usize, 1usize),
+            EvictionClass::Reducible if ways > 1 => (1usize, ways),
+            _ => (0usize, ways),
+        };
+
+        // Prefer an invalid slot in the allowed range.
+        let range = &mut self.slots[base..base + ways];
+        let mut victim_way = None;
+        let mut oldest = u64::MAX;
+        for (w, slot) in range.iter().enumerate().take(hi).skip(lo) {
+            match slot {
+                None => {
+                    victim_way = Some(w);
+                    break;
+                }
+                Some(e) if e.lru < oldest => {
+                    oldest = e.lru;
+                    victim_way = Some(w);
+                }
+                Some(_) => {}
+            }
+        }
+        let way = victim_way.expect("eviction range is never empty");
+        let victim = range[way].take();
+        range[way] = Some(Entry { tag: line, data, meta, lru: tick });
+        FillOutcome { victim }
+    }
+
+    /// Removes a line, returning its entry.
+    pub fn remove(&mut self, line: LineAddr) -> Option<Entry<M>> {
+        let (base, ways) = self.set_range(line);
+        for slot in &mut self.slots[base..base + ways] {
+            if slot.as_ref().is_some_and(|e| e.tag == line) {
+                return slot.take();
+            }
+        }
+        None
+    }
+
+    /// Iterates all resident entries (for invariant checks and recalls).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<M>> {
+        self.slots.iter().flatten()
+    }
+
+    /// Iterates all resident entries mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry<M>> {
+        self.slots.iter_mut().flatten()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether the array holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The way index a resident line occupies (for tests).
+    pub fn way_of(&self, line: LineAddr) -> Option<usize> {
+        self.set_slots(line)
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.tag == line))
+    }
+
+    fn set_range(&self, line: LineAddr) -> (usize, usize) {
+        let ways = self.geom.ways();
+        (self.geom.set_of(line) * ways, ways)
+    }
+
+    fn set_slots(&self, line: LineAddr) -> &[Option<Entry<M>>] {
+        let (base, ways) = self.set_range(line);
+        &self.slots[base..base + ways]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line(set: u64, alias: u64, sets: u64) -> LineAddr {
+        LineAddr::new(set + alias * sets)
+    }
+
+    #[test]
+    fn fill_and_get() {
+        let mut c: CacheArray<()> = CacheArray::new(CacheGeometry::new(4, 2));
+        let a = LineAddr::new(1);
+        assert!(c.fill(a, LineData::splat(9), (), EvictionClass::NonReducible).victim.is_none());
+        assert_eq!(c.get(a).unwrap().data, LineData::splat(9));
+        assert!(c.contains(a));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1, 2));
+        let (a, b, d) = (LineAddr::new(0), LineAddr::new(1), LineAddr::new(2));
+        c.fill(a, LineData::zeroed(), 0, EvictionClass::NonReducible);
+        c.fill(b, LineData::zeroed(), 1, EvictionClass::NonReducible);
+        c.get(a); // a is now most recent; b is LRU
+        let out = c.fill(d, LineData::zeroed(), 2, EvictionClass::NonReducible);
+        assert_eq!(out.victim.unwrap().tag, b);
+        assert!(c.contains(a) && c.contains(d));
+    }
+
+    #[test]
+    fn handler_fills_use_reserved_way_only() {
+        let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1, 4));
+        for i in 0..4 {
+            c.fill(LineAddr::new(i), LineData::zeroed(), i as u32, EvictionClass::NonReducible);
+        }
+        let h = LineAddr::new(10);
+        c.fill(h, LineData::zeroed(), 99, EvictionClass::Handler);
+        assert_eq!(c.way_of(h), Some(0));
+    }
+
+    #[test]
+    fn reducible_fills_avoid_reserved_way() {
+        let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1, 4));
+        for i in 0..8 {
+            c.fill(LineAddr::new(i), LineData::zeroed(), 0, EvictionClass::Reducible);
+            if i >= 4 {
+                // Set stays at 3 resident reducible lines + empty way 0.
+                assert_ne!(c.way_of(LineAddr::new(i)), Some(0));
+            }
+        }
+        // Way 0 was never allocated by reducible fills.
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn direct_mapped_disables_reservation() {
+        let mut c: CacheArray<()> = CacheArray::new(CacheGeometry::new(2, 1));
+        let a = LineAddr::new(0);
+        c.fill(a, LineData::zeroed(), (), EvictionClass::Reducible);
+        assert_eq!(c.way_of(a), Some(0));
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut c: CacheArray<u8> = CacheArray::new(CacheGeometry::new(2, 2));
+        let a = LineAddr::new(3);
+        c.fill(a, LineData::splat(1), 5, EvictionClass::NonReducible);
+        let e = c.remove(a).unwrap();
+        assert_eq!(e.meta, 5);
+        assert!(!c.contains(a));
+        assert!(c.remove(a).is_none());
+    }
+
+    proptest! {
+        /// A cache never holds more lines than its capacity, never holds
+        /// duplicates, and every fill of a missing line lands.
+        #[test]
+        fn capacity_and_uniqueness(ops in proptest::collection::vec(0u64..64, 1..200)) {
+            let sets = 4u64;
+            let mut c: CacheArray<()> = CacheArray::new(CacheGeometry::new(sets as usize, 2));
+            for op in ops {
+                let l = line(op % sets, op / sets, sets);
+                if !c.contains(l) {
+                    c.fill(l, LineData::zeroed(), (), EvictionClass::NonReducible);
+                }
+                prop_assert!(c.contains(l));
+            }
+            prop_assert!(c.len() <= c.geometry().lines());
+            let mut tags: Vec<_> = c.iter().map(|e| e.tag).collect();
+            tags.sort();
+            tags.dedup();
+            prop_assert_eq!(tags.len(), c.len());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Cache geometry: size, associativity, indexing.
+
+use commtm_mem::{LineAddr, LINE_BYTES};
+
+/// The geometry of a set-associative cache with 64-byte lines.
+///
+/// # Example
+///
+/// ```
+/// use commtm_cache::CacheGeometry;
+///
+/// // The paper's 32KB 8-way L1D: 64 sets.
+/// let g = CacheGeometry::from_size(32 * 1024, 8);
+/// assert_eq!(g.sets(), 64);
+/// assert_eq!(g.ways(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from a total size in bytes and an associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not an exact multiple of `ways` lines, or if
+    /// the resulting set count is not a power of two.
+    pub fn from_size(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be non-zero");
+        let lines = size_bytes / LINE_BYTES as usize;
+        assert_eq!(lines * LINE_BYTES as usize, size_bytes, "size must be a whole number of lines");
+        assert_eq!(lines % ways, 0, "size must be a whole number of ways");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Builds a geometry directly from set and way counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` is a power of two and both counts are non-zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(ways > 0, "associativity must be non-zero");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways (associativity).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in lines.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.lines() * LINE_BYTES as usize
+    }
+
+    /// The set index a line maps to.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        // Table I: L1D 32KB 8-way, L2 128KB 8-way, L3 bank 4MB 16-way.
+        assert_eq!(CacheGeometry::from_size(32 * 1024, 8).sets(), 64);
+        assert_eq!(CacheGeometry::from_size(128 * 1024, 8).sets(), 256);
+        assert_eq!(CacheGeometry::from_size(4 * 1024 * 1024, 16).sets(), 4096);
+    }
+
+    #[test]
+    fn indexing_wraps_by_set_count() {
+        let g = CacheGeometry::new(64, 8);
+        assert_eq!(g.set_of(LineAddr::new(0)), 0);
+        assert_eq!(g.set_of(LineAddr::new(64)), 0);
+        assert_eq!(g.set_of(LineAddr::new(65)), 1);
+        assert_eq!(g.lines(), 512);
+        assert_eq!(g.size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic() {
+        CacheGeometry::new(48, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of ways")]
+    fn ragged_size_panics() {
+        CacheGeometry::from_size(100 * LINE_BYTES as usize, 8);
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-line cache metadata.
+
+use commtm_mem::LabelId;
+
+use crate::state::CohState;
+
+/// Speculative-access bits kept per L1 line (the paper's Fig. 5 status
+/// bits). They record whether the running transaction has read, written, or
+/// performed labeled operations on the line — i.e. they encode the
+/// transaction's read, write, and labeled sets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpecBits {
+    /// Line is in the transaction's read set (conventional load).
+    pub read: bool,
+    /// Line is in the transaction's write set (conventional store).
+    pub written: bool,
+    /// Line is in the transaction's labeled set (labeled load/store/gather).
+    pub labeled: bool,
+    /// The label used by the transaction's labeled operations on this line.
+    ///
+    /// Needed when labeled operations hit an M/E-state line (which satisfies
+    /// them without entering U, Fig. 3): a later downgrade-to-U must know
+    /// whether the label matches to decide if it conflicts.
+    pub label: Option<LabelId>,
+    /// The transaction speculatively modified the line's data (via a
+    /// conventional or labeled store), so the L2 holds the authoritative
+    /// non-speculative value.
+    pub dirty_data: bool,
+}
+
+impl SpecBits {
+    /// Whether any bit is set, i.e. the line belongs to any transaction set.
+    pub fn any(self) -> bool {
+        self.read || self.written || self.labeled
+    }
+
+    /// Clears every bit (commit or abort).
+    pub fn clear(&mut self) {
+        *self = SpecBits::default();
+    }
+}
+
+/// Metadata for an L1 line: speculation bits plus a dirty bit relative to
+/// the private L2.
+///
+/// The L1 does not store a coherence state: the per-core *private* state is
+/// authoritative at the L2 ([`PrivMeta`]), and the L1 mirrors its
+/// permission. This removes an entire class of L1/L2 state-divergence bugs
+/// while preserving the paper's split of speculative (L1) versus
+/// non-speculative (L2) data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1Meta {
+    /// The L1 copy is newer than the L2 copy (non-speculatively dirty).
+    pub dirty: bool,
+    /// Speculative footprint bits.
+    pub spec: SpecBits,
+}
+
+/// Metadata for a private-L2 line: the core's authoritative coherence state
+/// plus the label for U-state lines and a dirty bit relative to the L3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrivMeta {
+    /// The core's coherence state for the line.
+    pub state: CohState,
+    /// The label, when `state == CohState::U`.
+    pub label: Option<LabelId>,
+    /// The private copy is newer than the L3 copy.
+    pub dirty: bool,
+}
+
+impl PrivMeta {
+    /// A U-state entry with the given label.
+    pub fn reducible(label: LabelId) -> Self {
+        PrivMeta { state: CohState::U, label: Some(label), dirty: false }
+    }
+
+    /// Whether the entry is in U with the given label.
+    pub fn is_reducible_with(&self, label: LabelId) -> bool {
+        self.state == CohState::U && self.label == Some(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_bits_any_and_clear() {
+        let mut b = SpecBits::default();
+        assert!(!b.any());
+        b.labeled = true;
+        assert!(b.any());
+        b.clear();
+        assert_eq!(b, SpecBits::default());
+    }
+
+    #[test]
+    fn priv_meta_reducible() {
+        let l = LabelId::new(2);
+        let m = PrivMeta::reducible(l);
+        assert!(m.is_reducible_with(l));
+        assert!(!m.is_reducible_with(LabelId::new(1)));
+        assert!(!PrivMeta::default().is_reducible_with(l));
+    }
+}

@@ -1,0 +1,95 @@
+//! Coherence states: MESI plus the user-defined reducible state U.
+
+use std::fmt;
+
+/// A private cache's coherence state for a line, per the paper's Fig. 3.
+///
+/// The paper extends MESI with **U** (user-defined reducible): multiple
+/// private caches may simultaneously hold a line in U with the same label,
+/// buffering commutative updates locally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum CohState {
+    /// Invalid: no permissions.
+    #[default]
+    I,
+    /// Shared read-only.
+    S,
+    /// Exclusive clean: sole copy, matches memory; silently upgradable.
+    E,
+    /// Modified: sole copy, dirty.
+    M,
+    /// User-defined reducible: one of possibly many partial copies, tagged
+    /// with a label. Satisfies only labeled accesses with a matching label.
+    U,
+}
+
+impl CohState {
+    /// Can a conventional (unlabeled) load be satisfied locally?
+    pub fn can_plain_read(self) -> bool {
+        matches!(self, CohState::S | CohState::E | CohState::M)
+    }
+
+    /// Can a conventional (unlabeled) store be satisfied locally?
+    ///
+    /// An E-state line upgrades to M silently on a store.
+    pub fn can_plain_write(self) -> bool {
+        matches!(self, CohState::E | CohState::M)
+    }
+
+    /// Can a labeled access be satisfied locally, given that the line's
+    /// label matches the access's? M and E satisfy all requests (Fig. 3);
+    /// U satisfies only matching labeled accesses.
+    pub fn can_labeled_access(self) -> bool {
+        matches!(self, CohState::E | CohState::M | CohState::U)
+    }
+
+    /// Does the state confer any valid permission?
+    pub fn is_valid(self) -> bool {
+        self != CohState::I
+    }
+
+    /// Is this the reducible state?
+    pub fn is_reducible(self) -> bool {
+        self == CohState::U
+    }
+}
+
+impl fmt::Display for CohState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CohState::I => "I",
+            CohState::S => "S",
+            CohState::E => "E",
+            CohState::M => "M",
+            CohState::U => "U",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_table_matches_fig3() {
+        // Fig. 3: M satisfies all requests; S only conventional loads;
+        // I nothing; U labeled accesses only (with a matching label).
+        assert!(CohState::M.can_plain_read() && CohState::M.can_plain_write());
+        assert!(CohState::M.can_labeled_access());
+        assert!(CohState::E.can_plain_read() && CohState::E.can_plain_write());
+        assert!(CohState::S.can_plain_read());
+        assert!(!CohState::S.can_plain_write());
+        assert!(!CohState::S.can_labeled_access());
+        assert!(!CohState::I.can_plain_read() && !CohState::I.can_plain_write());
+        assert!(CohState::U.can_labeled_access());
+        assert!(!CohState::U.can_plain_read() && !CohState::U.can_plain_write());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(CohState::default(), CohState::I);
+        assert!(!CohState::default().is_valid());
+        assert!(CohState::U.is_reducible());
+    }
+}

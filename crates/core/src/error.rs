@@ -1,0 +1,46 @@
+//! The facade error type.
+
+use std::fmt;
+
+use commtm_sim::SimError;
+
+/// Errors surfaced by the `commtm` public API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// More labels were registered than the architecture supports (8; see
+    /// paper Sec. III-D on virtualizing labels).
+    TooManyLabels,
+    /// The simulation failed (missing program, cycle-limit livelock).
+    Sim(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooManyLabels => {
+                write!(f, "architecture supports at most 8 labels")
+            }
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::TooManyLabels.to_string().contains("labels"));
+        let e = Error::from(SimError::MissingProgram { core: 3 });
+        assert!(e.to_string().contains("core 3"));
+    }
+}

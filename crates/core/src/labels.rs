@@ -1,0 +1,293 @@
+//! The canonical label library: the commutative operations the paper's
+//! evaluation uses (Table II and Sec. VI).
+//!
+//! Each function returns a [`LabelDef`] ready to pass to
+//! [`crate::MachineBuilder::register_label`]. Labels bundle an identity
+//! value (used to initialize fresh U-state copies) with a reduction handler
+//! (merging two partial lines), and — where gather requests make sense — a
+//! splitter.
+//!
+//! | label | identity | reduce | split | used by |
+//! |-------|----------|--------|-------|---------|
+//! | [`add`] | 0 | per-word wrapping add | proportional donation | counters, kmeans, ssca2, bounded counters (genome/vacation) |
+//! | [`fp_add`] | 0.0 | per-word f64 add | — | kmeans centroids |
+//! | [`min`] | `u64::MAX` | per-word min | — | boruvka component union |
+//! | [`max`] | 0 | per-word max | — | boruvka edge marking |
+//! | [`oput`] | key `u64::MAX` | keep lower-key pair | — | boruvka min-edges, ordered puts |
+//! | [`list`] | null descriptor | concatenate partial lists | donate head node | linked lists, queues, sets |
+
+use commtm_mem::{Addr, LineData, WORDS_PER_LINE};
+use commtm_protocol::{LabelDef, ReduceOps};
+
+/// 64-bit commutative addition (the paper's `ADD` label).
+///
+/// A line holds eight independent counters; reducing adds them word-wise.
+/// The splitter donates `ceil(value / numSharers)` of each word, which the
+/// paper's bounded-counter workloads use through gather requests (Sec. IV).
+pub fn add() -> LabelDef {
+    LabelDef::new("ADD", LineData::zeroed(), |_, dst, src| {
+        for i in 0..WORDS_PER_LINE {
+            dst[i] = dst[i].wrapping_add(src[i]);
+        }
+    })
+    .with_split(|_, local, out, n| {
+        for i in 0..WORDS_PER_LINE {
+            let v = local[i];
+            let donation = v.div_ceil(n as u64);
+            out[i] = donation;
+            local[i] = v - donation;
+        }
+    })
+}
+
+/// Commutative floating-point addition over f64 bit patterns (the paper's
+/// `FP ADD` in kmeans).
+///
+/// Floating-point addition is only *semantically* commutative: different
+/// orders round differently, which is exactly the class of operations
+/// CommTM supports and strict-commutativity schemes (Coup) do not.
+pub fn fp_add() -> LabelDef {
+    LabelDef::new("FPADD", LineData::zeroed(), |_, dst, src| {
+        for i in 0..WORDS_PER_LINE {
+            let sum = f64::from_bits(dst[i]) + f64::from_bits(src[i]);
+            dst[i] = sum.to_bits();
+        }
+    })
+}
+
+/// 64-bit commutative minimum (the paper's `MIN`, used by boruvka to union
+/// components by keeping the lower representative id).
+pub fn min() -> LabelDef {
+    LabelDef::new("MIN", LineData::splat(u64::MAX), |_, dst, src| {
+        for i in 0..WORDS_PER_LINE {
+            dst[i] = dst[i].min(src[i]);
+        }
+    })
+}
+
+/// 64-bit commutative maximum (the paper's `MAX`, used by boruvka to mark
+/// edges added to the MST).
+pub fn max() -> LabelDef {
+    LabelDef::new("MAX", LineData::zeroed(), |_, dst, src| {
+        for i in 0..WORDS_PER_LINE {
+            dst[i] = dst[i].max(src[i]);
+        }
+    })
+}
+
+/// Ordered put / priority update (the paper's `OPUT`): a line holds four
+/// (key, value) pairs at word pairs (0,1)..(6,7); reducing keeps the pair
+/// with the lower key. The identity has all keys at `u64::MAX`.
+///
+/// Boruvka uses this to record the minimum-weight edge leaving each
+/// component; databases use it for priority updates (Sec. VI).
+pub fn oput() -> LabelDef {
+    let mut identity = LineData::zeroed();
+    for p in 0..WORDS_PER_LINE / 2 {
+        identity[2 * p] = u64::MAX;
+    }
+    LabelDef::new("OPUT", identity, |_, dst, src| {
+        for p in 0..WORDS_PER_LINE / 2 {
+            let (k, v) = (2 * p, 2 * p + 1);
+            if src[k] < dst[k] {
+                dst[k] = src[k];
+                dst[v] = src[v];
+            }
+        }
+    })
+}
+
+/// Singly-linked-list descriptor (the paper's Fig. 11): word 0 is the head
+/// pointer, word 1 the tail pointer, null = empty. Nodes store their `next`
+/// pointer in their first word.
+///
+/// Each U-state copy of the descriptor represents a *partial* list;
+/// reduction concatenates them by pointing the first list's tail at the
+/// second's head (a real memory write through the reduction handler). The
+/// splitter donates the head element, which makes dequeues gatherable
+/// (Fig. 11b).
+pub fn list() -> LabelDef {
+    LabelDef::new("LIST", LineData::zeroed(), |ops, dst, src| {
+        if src[0] == 0 {
+            return;
+        }
+        if dst[0] == 0 {
+            dst[0] = src[0];
+            dst[1] = src[1];
+        } else {
+            // dst.tail.next = src.head; dst.tail = src.tail
+            ops.write(Addr::new(dst[1]), src[0]);
+            dst[1] = src[1];
+        }
+    })
+    .with_split(|ops: &mut dyn ReduceOps, local, out, _n| {
+        let head = local[0];
+        if head == 0 {
+            return; // nothing to donate
+        }
+        let next = ops.read(Addr::new(head));
+        local[0] = next;
+        if next == 0 {
+            local[1] = 0;
+        }
+        ops.write(Addr::new(head), 0);
+        out[0] = head;
+        out[1] = head;
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MapOps(std::collections::HashMap<u64, u64>);
+    impl ReduceOps for MapOps {
+        fn read(&mut self, a: Addr) -> u64 {
+            *self.0.get(&a.raw()).unwrap_or(&0)
+        }
+        fn write(&mut self, a: Addr, v: u64) {
+            self.0.insert(a.raw(), v);
+        }
+    }
+
+    fn apply(def: &LabelDef, dst: &mut LineData, src: &LineData) {
+        (def.reduce())(&mut MapOps(Default::default()), dst, src);
+    }
+
+    #[test]
+    fn add_reduces_and_identity_is_neutral() {
+        let def = add();
+        let mut a = LineData::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        apply(&def, &mut a, &def.identity());
+        assert_eq!(a[0], 1, "identity must be neutral");
+        apply(&def, &mut a, &LineData::splat(10));
+        assert_eq!(a.words(), &[11, 12, 13, 14, 15, 16, 17, 18]);
+    }
+
+    #[test]
+    fn add_split_conserves_value() {
+        let def = add();
+        let mut local = LineData::splat(19);
+        let mut out = def.identity();
+        (def.split().unwrap())(&mut MapOps(Default::default()), &mut local, &mut out, 4);
+        for i in 0..WORDS_PER_LINE {
+            assert_eq!(local[i] + out[i], 19);
+            assert_eq!(out[i], 5); // ceil(19/4)
+        }
+    }
+
+    #[test]
+    fn min_max_identities() {
+        let mn = min();
+        let mut a = mn.identity();
+        apply(&mn, &mut a, &LineData::splat(7));
+        assert_eq!(a, LineData::splat(7));
+        let mx = max();
+        let mut b = mx.identity();
+        apply(&mx, &mut b, &LineData::splat(7));
+        assert_eq!(b, LineData::splat(7));
+        apply(&mx, &mut b, &LineData::splat(3));
+        assert_eq!(b, LineData::splat(7));
+    }
+
+    #[test]
+    fn fp_add_sums_doubles() {
+        let def = fp_add();
+        let mut a = LineData::zeroed();
+        let mut one = LineData::zeroed();
+        one[0] = 1.5f64.to_bits();
+        apply(&def, &mut a, &one);
+        apply(&def, &mut a, &one);
+        assert_eq!(f64::from_bits(a[0]), 3.0);
+        assert_eq!(f64::from_bits(a[1]), 0.0);
+    }
+
+    #[test]
+    fn oput_keeps_lowest_key() {
+        let def = oput();
+        let mut a = def.identity();
+        let mut kv = LineData::zeroed();
+        kv[0] = 50;
+        kv[1] = 500;
+        apply(&def, &mut a, &kv);
+        assert_eq!((a[0], a[1]), (50, 500));
+        let mut lower = LineData::zeroed();
+        lower[0] = 20;
+        lower[1] = 200;
+        apply(&def, &mut a, &lower);
+        assert_eq!((a[0], a[1]), (20, 200));
+        let mut higher = def.identity();
+        higher[0] = 90;
+        higher[1] = 900;
+        apply(&def, &mut a, &higher);
+        assert_eq!((a[0], a[1]), (20, 200), "higher key must lose");
+    }
+
+    #[test]
+    fn oput_reduction_is_commutative() {
+        let def = oput();
+        let mk = |k: u64, v: u64| {
+            let mut l = def.identity();
+            l[0] = k;
+            l[1] = v;
+            l
+        };
+        let (x, y) = (mk(5, 55), mk(9, 99));
+        let mut a = x;
+        apply(&def, &mut a, &y);
+        let mut b = y;
+        apply(&def, &mut b, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn list_reduce_concatenates() {
+        let def = list();
+        let mut ops = MapOps(Default::default());
+        // List 1: nodes 0x100 -> 0x200; list 2: node 0x300.
+        ops.write(Addr::new(0x100), 0x200);
+        ops.write(Addr::new(0x200), 0);
+        ops.write(Addr::new(0x300), 0);
+        let mut d1 = LineData::zeroed();
+        d1[0] = 0x100;
+        d1[1] = 0x200;
+        let mut d2 = LineData::zeroed();
+        d2[0] = 0x300;
+        d2[1] = 0x300;
+        (def.reduce())(&mut ops, &mut d1, &d2);
+        assert_eq!((d1[0], d1[1]), (0x100, 0x300));
+        assert_eq!(ops.read(Addr::new(0x200)), 0x300, "tail stitched to donated head");
+        // Empty merges are no-ops both ways.
+        let empty = def.identity();
+        let mut d3 = d1;
+        (def.reduce())(&mut ops, &mut d3, &empty);
+        assert_eq!(d3, d1);
+        let mut d4 = def.identity();
+        (def.reduce())(&mut ops, &mut d4, &d1);
+        assert_eq!(d4, d1);
+    }
+
+    #[test]
+    fn list_split_donates_head() {
+        let def = list();
+        let mut ops = MapOps(Default::default());
+        ops.write(Addr::new(0x100), 0x200);
+        ops.write(Addr::new(0x200), 0);
+        let mut local = LineData::zeroed();
+        local[0] = 0x100;
+        local[1] = 0x200;
+        let mut out = def.identity();
+        (def.split().unwrap())(&mut ops, &mut local, &mut out, 2);
+        assert_eq!((out[0], out[1]), (0x100, 0x100));
+        assert_eq!((local[0], local[1]), (0x200, 0x200));
+        assert_eq!(ops.read(Addr::new(0x100)), 0, "donated node detached");
+        // Splitting the now single-element list empties it.
+        let mut out2 = def.identity();
+        (def.split().unwrap())(&mut ops, &mut local, &mut out2, 2);
+        assert_eq!((local[0], local[1]), (0, 0));
+        // Splitting an empty list donates nothing.
+        let mut out3 = def.identity();
+        (def.split().unwrap())(&mut ops, &mut local, &mut out3, 2);
+        assert_eq!(out3, def.identity());
+    }
+}

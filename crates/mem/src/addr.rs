@@ -1,0 +1,213 @@
+//! Byte and cache-line addresses.
+
+use std::fmt;
+
+/// Bytes per cache line (the paper simulates 64-byte lines).
+pub const LINE_BYTES: u64 = 64;
+/// Bytes per machine word. All simulated accesses are word-sized.
+pub const WORD_BYTES: u64 = 8;
+/// Words per cache line.
+pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+
+/// A byte address in the simulated physical address space.
+///
+/// Simulated memory operations are word-sized (8 bytes) and must be
+/// word-aligned; [`Addr::word_index`] locates the word within its line.
+///
+/// # Example
+///
+/// ```
+/// use commtm_mem::Addr;
+///
+/// let a = Addr::new(0x1048);
+/// assert_eq!(a.line().base().raw(), 0x1040);
+/// assert_eq!(a.word_index(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Never returned by allocators; workloads use it as a
+    /// null pointer sentinel.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates a byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Returns the index of this address's word within its cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the address is not word-aligned.
+    pub fn word_index(self) -> usize {
+        debug_assert!(self.is_word_aligned(), "unaligned word access at {self:?}");
+        ((self.0 % LINE_BYTES) / WORD_BYTES) as usize
+    }
+
+    /// Returns `true` if the address is aligned to a word boundary.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0 % WORD_BYTES == 0
+    }
+
+    /// Returns `true` if the address is aligned to a line boundary.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0 % LINE_BYTES == 0
+    }
+
+    /// Returns the address `bytes` past this one.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns the address `words` 8-byte words past this one.
+    pub const fn offset_words(self, words: u64) -> Addr {
+        Addr(self.0 + words * WORD_BYTES)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line address (a byte address divided by [`LINE_BYTES`]).
+///
+/// # Example
+///
+/// ```
+/// use commtm_mem::{Addr, LineAddr};
+///
+/// let line = Addr::new(0x1040).line();
+/// assert_eq!(line, LineAddr::new(0x41));
+/// assert_eq!(line.word(1), Addr::new(0x1048));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line number.
+    pub const fn new(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+
+    /// Returns the raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte in the line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// Returns the byte address of word `index` within the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= WORDS_PER_LINE`.
+    pub fn word(self, index: usize) -> Addr {
+        assert!(index < WORDS_PER_LINE, "word index {index} out of line bounds");
+        self.base().offset_words(index as u64)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_word_of_address() {
+        let a = Addr::new(0x10 * LINE_BYTES + 3 * WORD_BYTES);
+        assert_eq!(a.line().raw(), 0x10);
+        assert_eq!(a.word_index(), 3);
+        assert!(a.is_word_aligned());
+        assert!(!a.is_line_aligned());
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        for n in [0u64, 1, 7, 0xdead] {
+            let line = LineAddr::new(n);
+            assert_eq!(line.base().line(), line);
+            assert!(line.base().is_line_aligned());
+        }
+    }
+
+    #[test]
+    fn word_addresses_within_line() {
+        let line = LineAddr::new(5);
+        for w in 0..WORDS_PER_LINE {
+            let a = line.word(w);
+            assert_eq!(a.line(), line);
+            assert_eq!(a.word_index(), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line bounds")]
+    fn word_index_out_of_bounds_panics() {
+        LineAddr::new(0).word(WORDS_PER_LINE);
+    }
+
+    #[test]
+    fn offsets() {
+        let a = Addr::new(64);
+        assert_eq!(a.offset(8), a.offset_words(1));
+        assert_eq!(a.offset_words(8).line().raw(), a.line().raw() + 1);
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(8).is_null());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x40");
+        assert_eq!(format!("{}", LineAddr::new(1)), "L0x1");
+        assert_eq!(format!("{:?}", Addr::new(0x40)), "Addr(0x40)");
+    }
+}

@@ -1,0 +1,243 @@
+//! Small identifier newtypes shared across the simulator.
+
+use std::fmt;
+
+/// Maximum number of simulated cores (the paper's chip has 128).
+pub const MAX_CORES: usize = 128;
+
+/// Maximum number of hardware labels (the paper's architecture supports 8).
+pub const MAX_LABELS: usize = 8;
+
+/// Identifies a simulated core.
+///
+/// # Example
+///
+/// ```
+/// use commtm_mem::CoreId;
+///
+/// let c = CoreId::new(3);
+/// assert_eq!(c.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(u32);
+
+impl CoreId {
+    /// Creates a core id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_CORES`.
+    pub const fn new(index: usize) -> Self {
+        assert!(index < MAX_CORES, "core index exceeds MAX_CORES");
+        CoreId(index as u32)
+    }
+
+    /// Returns the core's index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies a user-defined reducible-state label (the paper's `ADD`,
+/// `OPUT`, `MIN`, ... labels). The architecture supports [`MAX_LABELS`]
+/// labels; label registration hands these out.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(u8);
+
+impl LabelId {
+    /// Creates a label id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_LABELS`.
+    pub const fn new(index: usize) -> Self {
+        assert!(index < MAX_LABELS, "label index exceeds MAX_LABELS");
+        LabelId(index as u8)
+    }
+
+    /// Returns the label's index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "label{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "label{}", self.0)
+    }
+}
+
+/// A set of cores, used by the directory to track sharers of a line.
+///
+/// Backed by a `u128` bit set, which exactly covers the paper's 128-core
+/// system.
+///
+/// # Example
+///
+/// ```
+/// use commtm_mem::{CoreId, SharerSet};
+///
+/// let mut s = SharerSet::empty();
+/// s.insert(CoreId::new(5));
+/// s.insert(CoreId::new(9));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(CoreId::new(5)));
+/// s.remove(CoreId::new(5));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![CoreId::new(9)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SharerSet(u128);
+
+impl SharerSet {
+    /// Creates an empty set.
+    pub const fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// Creates a set with a single member.
+    pub fn single(core: CoreId) -> Self {
+        let mut s = Self::empty();
+        s.insert(core);
+        s
+    }
+
+    /// Returns `true` if the set has no members.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the number of members.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if `core` is a member.
+    pub fn contains(self, core: CoreId) -> bool {
+        self.0 & (1u128 << core.index()) != 0
+    }
+
+    /// Adds `core` to the set. Idempotent.
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1u128 << core.index();
+    }
+
+    /// Removes `core` from the set. Idempotent.
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1u128 << core.index());
+    }
+
+    /// Returns the sole member if the set has exactly one.
+    pub fn sole_member(self) -> Option<CoreId> {
+        if self.len() == 1 {
+            Some(CoreId::new(self.0.trailing_zeros() as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates members in ascending core order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(CoreId::new(idx))
+            }
+        })
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<CoreId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut s = SharerSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_bounds() {
+        assert_eq!(CoreId::new(MAX_CORES - 1).index(), MAX_CORES - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_CORES")]
+    fn core_id_overflow_panics() {
+        CoreId::new(MAX_CORES);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_LABELS")]
+    fn label_id_overflow_panics() {
+        LabelId::new(MAX_LABELS);
+    }
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId::new(0));
+        s.insert(CoreId::new(127));
+        s.insert(CoreId::new(127)); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(CoreId::new(127)));
+        assert!(!s.contains(CoreId::new(64)));
+        s.remove(CoreId::new(0));
+        assert_eq!(s.sole_member(), Some(CoreId::new(127)));
+    }
+
+    #[test]
+    fn sharer_set_iter_order() {
+        let s: SharerSet = [7, 3, 100].into_iter().map(CoreId::new).collect();
+        let got: Vec<usize> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(got, vec![3, 7, 100]);
+    }
+
+    #[test]
+    fn sole_member_none_cases() {
+        assert_eq!(SharerSet::empty().sole_member(), None);
+        let s: SharerSet = [1, 2].into_iter().map(CoreId::new).collect();
+        assert_eq!(s.sole_member(), None);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", CoreId::new(4)), "core4");
+        assert_eq!(format!("{:?}", LabelId::new(2)), "label2");
+        let s = SharerSet::single(CoreId::new(1));
+        assert_eq!(format!("{s:?}"), "{core1}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Memory model and base identifiers for the CommTM simulator.
+//!
+//! This crate is the bottom of the workspace dependency graph. It defines:
+//!
+//! - [`Addr`] / [`LineAddr`]: byte and cache-line addresses (64-byte lines,
+//!   eight 64-bit words per line, as in the paper's Table I),
+//! - [`LineData`]: the value content of one cache line,
+//! - [`MainMemory`]: a sparse, zero-initialized physical memory,
+//! - [`Heap`]: a bump allocator used by workloads to lay out shared data,
+//! - small identifier newtypes shared by every other crate: [`CoreId`],
+//!   [`LabelId`], [`SharerSet`].
+//!
+//! # Example
+//!
+//! ```
+//! use commtm_mem::{Addr, Heap, MainMemory};
+//!
+//! let mut heap = Heap::new(Addr::new(0x1000), 1 << 20);
+//! let counter = heap.alloc_words(1);
+//! let mut mem = MainMemory::new();
+//! mem.write_word(counter, 41);
+//! assert_eq!(mem.read_word(counter) + 1, 42);
+//! ```
+
+mod addr;
+mod alloc;
+mod ids;
+mod line;
+mod memory;
+
+pub use addr::{Addr, LineAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use alloc::Heap;
+pub use ids::{CoreId, LabelId, SharerSet, MAX_CORES, MAX_LABELS};
+pub use line::LineData;
+pub use memory::MainMemory;

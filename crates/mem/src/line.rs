@@ -1,0 +1,141 @@
+//! Cache-line value content.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::addr::WORDS_PER_LINE;
+
+/// The value content of one 64-byte cache line, as eight 64-bit words.
+///
+/// `LineData` is the unit that reduction handlers and splitters operate on:
+/// a user-defined reduction merges one `LineData` into another (paper
+/// Sec. III-A), and a splitter donates part of one line into a fresh one
+/// (Sec. IV).
+///
+/// # Example
+///
+/// ```
+/// use commtm_mem::LineData;
+///
+/// let mut acc = LineData::zeroed();
+/// let delta = LineData::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+/// for i in 0..8 {
+///     acc[i] = acc[i].wrapping_add(delta[i]);
+/// }
+/// assert_eq!(acc[7], 8);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LineData([u64; WORDS_PER_LINE]);
+
+impl LineData {
+    /// A line of all-zero words (the identity value for additive labels).
+    pub const fn zeroed() -> Self {
+        LineData([0; WORDS_PER_LINE])
+    }
+
+    /// A line with every word set to `value` (e.g. `u64::MAX` as the
+    /// identity for a MIN label).
+    pub const fn splat(value: u64) -> Self {
+        LineData([value; WORDS_PER_LINE])
+    }
+
+    /// A line with the given word values.
+    pub const fn from_words(words: [u64; WORDS_PER_LINE]) -> Self {
+        LineData(words)
+    }
+
+    /// Returns the word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= WORDS_PER_LINE`.
+    pub fn word(&self, index: usize) -> u64 {
+        self.0[index]
+    }
+
+    /// Sets the word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= WORDS_PER_LINE`.
+    pub fn set_word(&mut self, index: usize, value: u64) {
+        self.0[index] = value;
+    }
+
+    /// Returns the words as a slice.
+    pub fn words(&self) -> &[u64; WORDS_PER_LINE] {
+        &self.0
+    }
+
+    /// Returns the words as a mutable slice.
+    pub fn words_mut(&mut self) -> &mut [u64; WORDS_PER_LINE] {
+        &mut self.0
+    }
+}
+
+impl Index<usize> for LineData {
+    type Output = u64;
+
+    fn index(&self, index: usize) -> &u64 {
+        &self.0[index]
+    }
+}
+
+impl IndexMut<usize> for LineData {
+    fn index_mut(&mut self, index: usize) -> &mut u64 {
+        &mut self.0[index]
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineData[")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:#x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<[u64; WORDS_PER_LINE]> for LineData {
+    fn from(words: [u64; WORDS_PER_LINE]) -> Self {
+        LineData(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_splat() {
+        assert_eq!(LineData::zeroed(), LineData::splat(0));
+        let m = LineData::splat(u64::MAX);
+        assert!(m.words().iter().all(|&w| w == u64::MAX));
+    }
+
+    #[test]
+    fn word_access() {
+        let mut l = LineData::zeroed();
+        l.set_word(3, 42);
+        assert_eq!(l.word(3), 42);
+        assert_eq!(l[3], 42);
+        l[0] = 7;
+        assert_eq!(l.word(0), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_word_panics() {
+        LineData::zeroed().word(WORDS_PER_LINE);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", LineData::zeroed());
+        assert!(s.contains("LineData"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Protocol and hierarchy configuration (the paper's Table I).
+
+use commtm_cache::CacheGeometry;
+use commtm_noc::Mesh;
+
+/// Configuration of the memory hierarchy and protocol cost model.
+///
+/// [`ProtoConfig::paper`] reproduces Table I of the paper;
+/// [`ProtoConfig::tiny`] is a deliberately small hierarchy that forces
+/// evictions, used by the test suite.
+#[derive(Clone, Debug)]
+pub struct ProtoConfig {
+    /// Number of cores (= private cache pairs).
+    pub cores: usize,
+    /// L1 data cache geometry (per core).
+    pub l1: CacheGeometry,
+    /// Private L2 geometry (per core).
+    pub l2: CacheGeometry,
+    /// Geometry of one L3 bank.
+    pub l3_bank: CacheGeometry,
+    /// Number of L3 banks.
+    pub l3_banks: usize,
+    /// On-chip mesh model.
+    pub mesh: Mesh,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+    /// L3 bank access latency in cycles.
+    pub l3_latency: u64,
+    /// Main memory access latency in cycles.
+    pub mem_latency: u64,
+    /// Cost of merging one forwarded line in a reduction handler, on top of
+    /// any memory accesses the handler itself performs (models the shadow
+    /// thread's execution, Sec. III-B4).
+    pub reduce_cycles: u64,
+    /// Cost of running one user-defined splitter (Sec. IV).
+    pub split_cycles: u64,
+    /// Seed for the protocol's internal randomness (random co-sharer choice
+    /// on U-state evictions, Sec. III-B5).
+    pub seed: u64,
+}
+
+impl ProtoConfig {
+    /// The paper's Table I configuration: 128 cores, 32KB 8-way L1D, 128KB
+    /// 8-way L2, 64MB L3 in 16 4MB 16-way banks, 4×4 mesh, 6/15/136-cycle
+    /// L2/L3/memory latencies.
+    pub fn paper() -> Self {
+        ProtoConfig {
+            cores: 128,
+            l1: CacheGeometry::from_size(32 * 1024, 8),
+            l2: CacheGeometry::from_size(128 * 1024, 8),
+            l3_bank: CacheGeometry::from_size(4 * 1024 * 1024, 16),
+            l3_banks: 16,
+            mesh: Mesh::paper(),
+            l2_latency: 6,
+            l3_latency: 15,
+            mem_latency: 136,
+            reduce_cycles: 6,
+            split_cycles: 6,
+            seed: 0xC0_11_7E_57,
+        }
+    }
+
+    /// Like [`ProtoConfig::paper`] but with `cores` active cores. The rest
+    /// of the hierarchy is unchanged, matching the paper's thread-count
+    /// sweeps on a fixed 128-core chip.
+    pub fn paper_with_cores(cores: usize) -> Self {
+        ProtoConfig { cores, ..Self::paper() }
+    }
+
+    /// A miniature hierarchy (4 cores, 2-set caches) that exercises
+    /// evictions and recalls in unit tests.
+    pub fn tiny(cores: usize) -> Self {
+        ProtoConfig {
+            cores,
+            l1: CacheGeometry::new(2, 2),
+            l2: CacheGeometry::new(4, 2),
+            l3_bank: CacheGeometry::new(16, 4),
+            l3_banks: 2,
+            mesh: Mesh::new(2, 1, ((cores + 1) / 2).max(1) as u32, 2, 1),
+            l2_latency: 6,
+            l3_latency: 15,
+            mem_latency: 136,
+            reduce_cycles: 6,
+            split_cycles: 6,
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table1() {
+        let c = ProtoConfig::paper();
+        assert_eq!(c.cores, 128);
+        assert_eq!(c.l1.size_bytes(), 32 * 1024);
+        assert_eq!(c.l2.size_bytes(), 128 * 1024);
+        assert_eq!(c.l3_bank.size_bytes() * c.l3_banks, 64 * 1024 * 1024);
+        assert_eq!(c.l3_banks, 16);
+        assert_eq!((c.l2_latency, c.l3_latency, c.mem_latency), (6, 15, 136));
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let c = ProtoConfig::tiny(2);
+        assert!(c.l1.lines() <= 8);
+        assert_eq!(c.cores, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Whole-hierarchy coherence invariant checker, used by the test suite and
+//! debug runs.
+
+use commtm_cache::CohState;
+use commtm_mem::CoreId;
+
+use crate::dir::DirState;
+
+use super::MemSystem;
+
+impl MemSystem {
+    /// Audits the entire hierarchy for protocol invariants:
+    ///
+    /// - inclusion: L1 ⊆ L2 ⊆ L3,
+    /// - directory/private-state agreement in both directions,
+    /// - a single exclusive owner; U sharers all carry the directory label,
+    /// - the reserved way never holds U-state lines (when associativity
+    ///   permits reservation),
+    /// - speculative footprints are tracked in `spec_lines`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (ci, p) in self.privs.iter().enumerate() {
+            let core = CoreId::new(ci);
+            for e in p.l1.iter() {
+                let line = e.tag;
+                let Some(l2e) = p.l2.peek(line) else {
+                    return Err(format!("{core}: L1 line {line} missing from L2 (inclusion)"));
+                };
+                if l2e.meta.state == CohState::I {
+                    return Err(format!("{core}: L1 line {line} backed by invalid L2 state"));
+                }
+                if e.meta.spec.any() && !p.spec_lines.contains(&line) {
+                    return Err(format!("{core}: speculative line {line} not in spec_lines"));
+                }
+            }
+            for e in p.l2.iter() {
+                let line = e.tag;
+                let bank = self.bank_of(line);
+                let Some(l3e) = self.l3[bank].peek(line) else {
+                    return Err(format!("{core}: private line {line} missing from L3 (inclusion)"));
+                };
+                let dir = l3e.meta.dir;
+                match e.meta.state {
+                    CohState::I => {
+                        return Err(format!("{core}: invalid line {line} resident in L2"))
+                    }
+                    CohState::S => {
+                        if !matches!(dir, DirState::Shared(s) if s.contains(core)) {
+                            return Err(format!(
+                                "{core}: S line {line} but directory is {dir:?}"
+                            ));
+                        }
+                    }
+                    CohState::E | CohState::M => {
+                        if dir != DirState::Exclusive(core) {
+                            return Err(format!(
+                                "{core}: exclusive line {line} but directory is {dir:?}"
+                            ));
+                        }
+                    }
+                    CohState::U => {
+                        let Some(label) = e.meta.label else {
+                            return Err(format!("{core}: U line {line} without label"));
+                        };
+                        if !matches!(dir, DirState::Reducible(l, s) if l == label && s.contains(core))
+                        {
+                            return Err(format!(
+                                "{core}: U({label}) line {line} but directory is {dir:?}"
+                            ));
+                        }
+                        if self.cfg.l2.ways() > 1 && p.l2.way_of(line) == Some(0) {
+                            return Err(format!(
+                                "{core}: U line {line} occupies the reserved L2 way"
+                            ));
+                        }
+                        if self.cfg.l1.ways() > 1 && p.l1.way_of(line) == Some(0) {
+                            return Err(format!(
+                                "{core}: U line {line} occupies the reserved L1 way"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        for bank in &self.l3 {
+            for e in bank.iter() {
+                let line = e.tag;
+                match e.meta.dir {
+                    DirState::Uncached => {
+                        for (ci, p) in self.privs.iter().enumerate() {
+                            if p.l2.contains(line) {
+                                return Err(format!(
+                                    "uncached line {line} resident at core{ci}"
+                                ));
+                            }
+                        }
+                    }
+                    DirState::Shared(s) => {
+                        if s.is_empty() {
+                            return Err(format!("shared line {line} with empty sharer set"));
+                        }
+                        for t in s.iter() {
+                            let (st, _) = self.priv_state(t, line);
+                            if st != CohState::S {
+                                return Err(format!(
+                                    "directory says {t} shares {line} but its state is {st}"
+                                ));
+                            }
+                        }
+                    }
+                    DirState::Exclusive(o) => {
+                        let (st, _) = self.priv_state(o, line);
+                        if !matches!(st, CohState::E | CohState::M) {
+                            return Err(format!(
+                                "directory says {o} owns {line} but its state is {st}"
+                            ));
+                        }
+                        for (ci, p) in self.privs.iter().enumerate() {
+                            if ci != o.index() && p.l2.contains(line) {
+                                return Err(format!(
+                                    "exclusive line {line} also resident at core{ci}"
+                                ));
+                            }
+                        }
+                    }
+                    DirState::Reducible(l, s) => {
+                        if s.is_empty() {
+                            return Err(format!("reducible line {line} with empty sharer set"));
+                        }
+                        for t in s.iter() {
+                            let (st, lbl) = self.priv_state(t, line);
+                            if st != CohState::U || lbl != Some(l) {
+                                return Err(format!(
+                                    "directory says {t} holds {line} in U({l}) but its state \
+                                     is {st} label {lbl:?}"
+                                ));
+                            }
+                        }
+                        for (ci, p) in self.privs.iter().enumerate() {
+                            if !s.contains(CoreId::new(ci)) && p.l2.contains(line) {
+                                return Err(format!(
+                                    "reducible line {line} resident at non-sharer core{ci}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

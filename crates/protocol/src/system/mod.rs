@@ -1,0 +1,592 @@
+//! The functional MESI+U protocol engine.
+
+mod dirflow;
+mod evict;
+mod handler;
+mod invariants;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use commtm_cache::{CacheArray, CohState, EvictionClass, L1Meta, PrivMeta};
+use commtm_mem::{Addr, CoreId, LabelId, LineAddr, LineData, MainMemory};
+
+use crate::config::ProtoConfig;
+use crate::dir::L3Meta;
+use crate::label::LabelTable;
+use crate::stats::ProtoStats;
+use crate::types::{AbortKind, Access, MemOp, ProtoEvent, TxTable};
+
+/// Whether `COMMTM_TRACE` is set (cached): emits protocol-event traces on
+/// stderr for debugging.
+pub(crate) fn trace_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("COMMTM_TRACE").is_ok())
+}
+
+/// One core's private cache pair.
+#[derive(Clone, Debug)]
+pub(crate) struct PrivCache {
+    /// Speculative data and footprint bits live here (Fig. 5).
+    pub l1: CacheArray<L1Meta>,
+    /// The core's authoritative coherence state and non-speculative data.
+    pub l2: CacheArray<PrivMeta>,
+    /// Lines touched speculatively by the running transaction.
+    pub spec_lines: Vec<LineAddr>,
+}
+
+/// Mutable bookkeeping for one in-flight access.
+#[derive(Debug, Default)]
+pub(crate) struct Acc {
+    pub latency: u64,
+    pub events: Vec<ProtoEvent>,
+    pub self_abort: Option<AbortKind>,
+}
+
+impl Acc {
+    pub fn lat(&mut self, cycles: u64) {
+        self.latency += cycles;
+    }
+
+    /// Records a requester-side abort, keeping the first cause.
+    pub fn abort_self(&mut self, kind: AbortKind) {
+        self.self_abort.get_or_insert(kind);
+    }
+}
+
+/// The three-level coherent memory system with the CommTM protocol.
+///
+/// See the crate docs for the model; the main entry point is
+/// [`MemSystem::access`].
+pub struct MemSystem {
+    pub(crate) cfg: ProtoConfig,
+    pub(crate) labels: LabelTable,
+    pub(crate) mem: MainMemory,
+    pub(crate) l3: Vec<CacheArray<L3Meta>>,
+    pub(crate) privs: Vec<PrivCache>,
+    pub(crate) stats: ProtoStats,
+    pub(crate) rng: StdRng,
+}
+
+impl std::fmt::Debug for MemSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemSystem")
+            .field("cores", &self.cfg.cores)
+            .field("labels", &self.labels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemSystem {
+    /// Builds a memory system for the given configuration and label table.
+    pub fn new(cfg: ProtoConfig, labels: LabelTable) -> Self {
+        let privs = (0..cfg.cores)
+            .map(|_| PrivCache {
+                l1: CacheArray::new(cfg.l1),
+                l2: CacheArray::new(cfg.l2),
+                spec_lines: Vec::new(),
+            })
+            .collect();
+        let l3 = (0..cfg.l3_banks).map(|_| CacheArray::new(cfg.l3_bank)).collect();
+        let stats = ProtoStats::new(cfg.cores);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        MemSystem { cfg, labels, mem: MainMemory::new(), l3, privs, stats, rng }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &ProtoConfig {
+        &self.cfg
+    }
+
+    /// The registered labels.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &ProtoStats {
+        &self.stats
+    }
+
+    /// Performs one memory operation for `core`, computing its full
+    /// protocol effect and latency.
+    ///
+    /// `txs` supplies per-core transaction timestamps for eager conflict
+    /// detection; the entry for an aborted victim is deactivated in place
+    /// and an [`ProtoEvent::Aborted`] is reported. If the *requester* must
+    /// abort (NACK, self-demotion, footprint eviction), its speculative
+    /// state is rolled back and [`Access::self_abort`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned, or on API misuse (gather on a
+    /// label with no splitter).
+    pub fn access(&mut self, core: CoreId, op: MemOp, addr: Addr, txs: &mut TxTable) -> Access {
+        let mut acc = Acc::default();
+        let value = self.do_op(core, op, addr, txs, &mut acc, false);
+        // An eviction (or handler collision) may have aborted the
+        // requester's own transaction through the event path; promote it to
+        // a self-abort so the caller restarts the transaction, and drop the
+        // redundant event.
+        if acc.self_abort.is_none() {
+            let own = acc.events.iter().find_map(|e| match e {
+                ProtoEvent::Aborted { core: c, cause } if *c == core => Some(*cause),
+                _ => None,
+            });
+            if let Some(cause) = own {
+                acc.self_abort = Some(cause);
+            }
+        }
+        acc.events.retain(|e| !matches!(e, ProtoEvent::Aborted { core: c, .. } if *c == core));
+        if acc.self_abort.is_some() {
+            self.rollback_core(core);
+            txs.end(core);
+        }
+        Access { value, latency: acc.latency, self_abort: acc.self_abort, events: acc.events }
+    }
+
+    /// Commits `core`'s transaction: its speculative L1 data becomes
+    /// non-speculative (Fig. 5 step 2). The caller clears the [`TxTable`].
+    pub fn commit_core(&mut self, core: CoreId) {
+        let p = &mut self.privs[core.index()];
+        for line in std::mem::take(&mut p.spec_lines) {
+            if let Some(e) = p.l1.get(line) {
+                if e.meta.spec.dirty_data {
+                    e.meta.dirty = true;
+                }
+                e.meta.spec.clear();
+            }
+        }
+    }
+
+    /// Rolls back `core`'s transaction: speculatively-written L1 lines are
+    /// restored from the non-speculative L2 copies and footprint bits are
+    /// cleared. Idempotent.
+    pub fn rollback_core(&mut self, core: CoreId) {
+        let p = &mut self.privs[core.index()];
+        for line in std::mem::take(&mut p.spec_lines) {
+            let l2_data = p.l2.peek(line).map(|e| e.data);
+            if let Some(e) = p.l1.get(line) {
+                if e.meta.spec.dirty_data {
+                    e.data = l2_data.expect("inclusion: spec L1 line must be in L2");
+                    e.meta.dirty = false;
+                }
+                e.meta.spec.clear();
+            }
+        }
+    }
+
+    /// Writes a word directly to main memory, bypassing the hierarchy.
+    /// Intended for pre-run data layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is cached anywhere (setup must precede traffic).
+    pub fn poke_word(&mut self, addr: Addr, value: u64) {
+        let line = addr.line();
+        let bank = self.bank_of(line);
+        assert!(
+            !self.l3[bank].contains(line),
+            "poke_word on a cached line {line}; initialize data before running"
+        );
+        self.mem.write_word(addr, value);
+    }
+
+    /// Reads a word directly from main memory, bypassing the hierarchy.
+    ///
+    /// This sees only the memory copy; use a coherent [`MemSystem::access`]
+    /// (which triggers reductions) to observe the logical value of lines
+    /// that may be cached or reducible.
+    pub fn peek_word_raw(&self, addr: Addr) -> u64 {
+        self.mem.read_word(addr)
+    }
+
+    /// Performs a non-speculative coherent load at `core` and returns the
+    /// value, triggering reductions as needed. Used by verification code
+    /// after a run.
+    pub fn read_word_coherent(&mut self, core: CoreId, addr: Addr, txs: &mut TxTable) -> u64 {
+        self.access(core, MemOp::Load, addr, txs).value
+    }
+
+    pub(crate) fn bank_of(&self, line: LineAddr) -> usize {
+        self.cfg.mesh.bank_of(line, self.cfg.l3_banks)
+    }
+
+    /// The core's current (possibly speculative) copy of a line.
+    pub(crate) fn priv_current(&self, core: CoreId, line: LineAddr) -> LineData {
+        let p = &self.privs[core.index()];
+        if let Some(e) = p.l1.peek(line) {
+            e.data
+        } else {
+            p.l2.peek(line).expect("line not present in private cache").data
+        }
+    }
+
+    /// The core's non-speculative value of a line (L2 if the L1 copy is
+    /// speculatively dirty, else the freshest copy).
+    pub(crate) fn priv_nonspec(&self, core: CoreId, line: LineAddr) -> LineData {
+        let p = &self.privs[core.index()];
+        match p.l1.peek(line) {
+            Some(e) if !e.meta.spec.dirty_data => e.data,
+            _ => p.l2.peek(line).expect("line not present in private cache").data,
+        }
+    }
+
+    /// Debug dump of a core's private copies of a line (state, L1/L2
+    /// word 0, footprint bits). For tracing only.
+    pub fn debug_priv(&self, core: CoreId, line: LineAddr) -> String {
+        let p = &self.privs[core.index()];
+        let l1 = p.l1.peek(line).map(|e| format!("L1[w0={:x} w1={:x} dirty={} spec={:?}]", e.data[0], e.data[1], e.meta.dirty, e.meta.spec));
+        let l2 = p.l2.peek(line).map(|e| format!("L2[{:?} w0={:x} w1={:x} dirty={}]", e.meta.state, e.data[0], e.data[1], e.meta.dirty));
+        format!("{:?} {:?}", l1, l2)
+    }
+
+    /// The core's authoritative coherence state and label for a line
+    /// (`I` if not resident). Public for tests and diagnostics.
+    pub fn line_state(&self, core: CoreId, line: LineAddr) -> (CohState, Option<LabelId>) {
+        self.priv_state(core, line)
+    }
+
+    /// The core's authoritative coherence state for a line.
+    pub(crate) fn priv_state(&self, core: CoreId, line: LineAddr) -> (CohState, Option<LabelId>) {
+        match self.privs[core.index()].l2.peek(line) {
+            Some(e) => (e.meta.state, e.meta.label),
+            None => (CohState::I, None),
+        }
+    }
+
+    /// Central operation dispatch: fast local path, else directory flow
+    /// followed by the local completion.
+    pub(crate) fn do_op(
+        &mut self,
+        core: CoreId,
+        op: MemOp,
+        addr: Addr,
+        txs: &mut TxTable,
+        acc: &mut Acc,
+        handler: bool,
+    ) -> u64 {
+        assert!(addr.is_word_aligned(), "unaligned access at {addr:?}");
+        let line = addr.line();
+
+        if let MemOp::Gather(label) = op {
+            return self.do_gather(core, label, addr, txs, acc, handler);
+        }
+
+        let (state, lbl) = self.priv_state(core, line);
+        let sufficient = match op {
+            MemOp::Load => state.can_plain_read(),
+            MemOp::Store(_) => state.can_plain_write(),
+            MemOp::LoadL(l) | MemOp::StoreL(l, _) => {
+                state == CohState::M
+                    || state == CohState::E
+                    || (state == CohState::U && lbl == Some(l))
+            }
+            MemOp::Gather(_) => unreachable!(),
+        };
+
+        if handler && (state == CohState::U) {
+            panic!(
+                "reduction handler accessed reducible data at {addr:?}: handlers must not \
+                 trigger reductions (paper Sec. III-B4)"
+            );
+        }
+
+        if sufficient {
+            let l1_present = self.privs[core.index()].l1.contains(line);
+            if l1_present {
+                self.stats.core_mut(core).l1_hits += 1;
+            } else {
+                self.stats.core_mut(core).l1_misses += 1;
+                self.stats.core_mut(core).l2_hits += 1;
+                acc.lat(self.cfg.l2_latency);
+            }
+            return self.local_op(core, op, addr, txs, acc, handler);
+        }
+
+        self.stats.core_mut(core).l1_misses += 1;
+        self.stats.core_mut(core).l2_misses += 1;
+
+        match op {
+            MemOp::Load => self.dir_gets(core, line, txs, acc, handler),
+            MemOp::Store(_) => self.dir_getx(core, line, txs, acc, handler),
+            MemOp::LoadL(l) | MemOp::StoreL(l, _) => {
+                self.dir_getu(core, l, line, txs, acc, handler)
+            }
+            MemOp::Gather(_) => unreachable!(),
+        }
+
+        // A pending requester abort (NACK) voids the *transactional* access
+        // — but never handler operations: reduction handlers and splitters
+        // run non-speculatively on the shadow thread, and their effects are
+        // committed state even when the triggering transaction aborts
+        // (Fig. 6b keeps partially-reduced data, so the merges that built
+        // it must have fully executed).
+        if acc.self_abort.is_some() && !handler {
+            return 0;
+        }
+        self.local_op(core, op, addr, txs, acc, handler)
+    }
+
+    /// Gather: ensure U permission, then run the gather flow (Sec. IV).
+    fn do_gather(
+        &mut self,
+        core: CoreId,
+        label: LabelId,
+        addr: Addr,
+        txs: &mut TxTable,
+        acc: &mut Acc,
+        handler: bool,
+    ) -> u64 {
+        assert!(!handler, "reduction handlers must not issue gather requests");
+        let line = addr.line();
+        let (state, lbl) = self.priv_state(core, line);
+        if !(state == CohState::U && lbl == Some(label)) {
+            // Acquire reducible permission first; this may resolve to M/E
+            // (e.g. we were the exclusive owner), in which case the local
+            // value is already the full value and no gather is needed.
+            let v = self.do_op(core, MemOp::LoadL(label), addr, txs, acc, handler);
+            if acc.self_abort.is_some() {
+                return 0;
+            }
+            let (state, lbl) = self.priv_state(core, line);
+            if !(state == CohState::U && lbl == Some(label)) {
+                return v;
+            }
+        } else {
+            self.stats.core_mut(core).l1_misses += 1;
+            self.stats.core_mut(core).l2_misses += 1;
+        }
+        self.gather_flow(core, label, line, txs, acc);
+        if acc.self_abort.is_some() {
+            return 0;
+        }
+        self.local_op(core, MemOp::LoadL(label), addr, txs, acc, handler)
+    }
+
+    /// Completes an operation against the (now sufficient) private copy:
+    /// fills the L1 if needed, maintains speculative footprint bits and the
+    /// Fig. 5 value-management discipline, and performs the word access.
+    pub(crate) fn local_op(
+        &mut self,
+        core: CoreId,
+        op: MemOp,
+        addr: Addr,
+        txs: &mut TxTable,
+        acc: &mut Acc,
+        handler: bool,
+    ) -> u64 {
+        let line = addr.line();
+        let widx = addr.word_index();
+
+        // Ensure an L1 copy exists (from the L2's data).
+        if !self.privs[core.index()].l1.contains(line) {
+            let p = &self.privs[core.index()];
+            let l2e = p.l2.peek(line).expect("local_op without L2 entry");
+            let data = l2e.data;
+            let is_u = l2e.meta.state == CohState::U;
+            let class = if handler {
+                EvictionClass::Handler
+            } else if is_u {
+                EvictionClass::Reducible
+            } else {
+                EvictionClass::NonReducible
+            };
+            let victim =
+                self.privs[core.index()].l1.fill(line, data, L1Meta::default(), class).victim;
+            if let Some(v) = victim {
+                self.l1_evict_tx(core, v, txs, acc);
+            }
+        }
+
+        let in_tx = txs.entry(core).active && !handler;
+
+        // Footprint tracking and non-speculative value preservation.
+        if in_tx {
+            let p = &mut self.privs[core.index()];
+            let newly_tracked = {
+                let e = p.l1.get(line).expect("L1 entry just ensured");
+                !e.meta.spec.any()
+            };
+            if newly_tracked && !p.spec_lines.contains(&line) {
+                p.spec_lines.push(line);
+            }
+            if op.is_store() {
+                self.preserve_nonspec(core, line);
+            }
+            let p = &mut self.privs[core.index()];
+            let e = p.l1.get(line).expect("L1 entry just ensured");
+            match op {
+                MemOp::Load => e.meta.spec.read = true,
+                MemOp::Store(_) => e.meta.spec.written = true,
+                MemOp::LoadL(l) | MemOp::StoreL(l, _) | MemOp::Gather(l) => {
+                    e.meta.spec.labeled = true;
+                    e.meta.spec.label.get_or_insert(l);
+                }
+            }
+        }
+
+        // E -> M upgrade on plain stores happens silently at the core.
+        if let MemOp::Store(_) = op {
+            let p = &mut self.privs[core.index()];
+            let l2e = p.l2.get(line).expect("inclusion");
+            if l2e.meta.state == CohState::E {
+                l2e.meta.state = CohState::M;
+            }
+        }
+
+        let p = &mut self.privs[core.index()];
+        let e = p.l1.get(line).expect("L1 entry just ensured");
+        match op {
+            MemOp::Load | MemOp::LoadL(_) | MemOp::Gather(_) => e.data[widx],
+            MemOp::Store(v) | MemOp::StoreL(_, v) => {
+                e.data[widx] = v;
+                if in_tx {
+                    e.meta.spec.dirty_data = true;
+                } else {
+                    e.meta.dirty = true;
+                }
+                v
+            }
+        }
+    }
+
+    /// Fig. 5 step 3: before the first speculative write to a line, forward
+    /// the current non-speculative value to the L2.
+    fn preserve_nonspec(&mut self, core: CoreId, line: LineAddr) {
+        let p = &mut self.privs[core.index()];
+        let (needs_copy, data) = {
+            let e = p.l1.get(line).expect("preserve_nonspec without L1 entry");
+            (!e.meta.spec.dirty_data && e.meta.dirty, e.data)
+        };
+        if needs_copy {
+            let l2e = p.l2.get(line).expect("inclusion");
+            l2e.data = data;
+            l2e.meta.dirty = true;
+            let e = p.l1.get(line).expect("just seen");
+            e.meta.dirty = false;
+        }
+    }
+
+    /// Installs (or updates) a line in the core's private caches with the
+    /// given data and authoritative state. Evictions this causes are fully
+    /// processed.
+    pub(crate) fn install_private(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        data: LineData,
+        meta: PrivMeta,
+        txs: &mut TxTable,
+        acc: &mut Acc,
+        handler: bool,
+    ) {
+        if trace_enabled() {
+            eprintln!("    [proto] install {core:?} {line} {:?} w0={:x} w1={:x}", meta.state, data[0], data[1]);
+        }
+        let class = if handler {
+            EvictionClass::Handler
+        } else if meta.state == CohState::U {
+            EvictionClass::Reducible
+        } else {
+            EvictionClass::NonReducible
+        };
+
+        // L2 (authoritative) entry. An upgrade into U of a line sitting in
+        // the reserved way must relocate it (way 0 never holds U data).
+        let p = &mut self.privs[core.index()];
+        let reloc_l2 =
+            meta.state == CohState::U && self.cfg.l2.ways() > 1 && p.l2.way_of(line) == Some(0);
+        if reloc_l2 {
+            p.l2.remove(line);
+        }
+        let p = &mut self.privs[core.index()];
+        if let Some(e) = p.l2.get(line) {
+            e.meta = meta;
+            e.data = data;
+        } else {
+            let victim = p.l2.fill(line, data, meta, class).victim;
+            if let Some(v) = victim {
+                self.l2_evict(core, v, txs, acc);
+            }
+        }
+
+        // L1 mirror (same reserved-way relocation, preserving footprint
+        // bits).
+        let p = &mut self.privs[core.index()];
+        let reloc_l1 =
+            meta.state == CohState::U && self.cfg.l1.ways() > 1 && p.l1.way_of(line) == Some(0);
+        let preserved = if reloc_l1 {
+            p.l1.remove(line).map(|e| e.meta)
+        } else {
+            None
+        };
+        let p = &mut self.privs[core.index()];
+        if let Some(e) = p.l1.get(line) {
+            e.data = data;
+            e.meta.dirty = false;
+        } else {
+            let l1_meta = preserved.unwrap_or_default();
+            let victim = p.l1.fill(line, data, l1_meta, class).victim;
+            if let Some(v) = victim {
+                self.l1_evict_tx(core, v, txs, acc);
+            }
+        }
+    }
+
+    /// Rewrites a resident line's authoritative metadata, relocating it out
+    /// of the reserved way when it becomes U (data and L1 footprint bits
+    /// are preserved). Used for in-place state changes: owner downgrades
+    /// (GETU case 5) and post-reduction relabeling (case 3).
+    pub(crate) fn set_priv_meta(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        meta: PrivMeta,
+        txs: &mut TxTable,
+        acc: &mut Acc,
+    ) {
+        let to_u = meta.state == CohState::U;
+        let p = &mut self.privs[core.index()];
+
+        if to_u && self.cfg.l2.ways() > 1 && p.l2.way_of(line) == Some(0) {
+            let mut e = p.l2.remove(line).expect("relocating missing L2 line");
+            e.meta = meta;
+            let out = p.l2.fill(line, e.data, e.meta, EvictionClass::Reducible);
+            if let Some(v) = out.victim {
+                self.l2_evict(core, v, txs, acc);
+            }
+        } else {
+            let e = p.l2.get(line).expect("set_priv_meta on missing L2 line");
+            e.meta = meta;
+        }
+
+        let p = &mut self.privs[core.index()];
+        if to_u && self.cfg.l1.ways() > 1 && p.l1.way_of(line) == Some(0) {
+            let e = p.l1.remove(line).expect("relocating missing L1 line");
+            let out = p.l1.fill(line, e.data, e.meta, EvictionClass::Reducible);
+            if let Some(v) = out.victim {
+                self.l1_evict_tx(core, v, txs, acc);
+            }
+        }
+    }
+
+    /// Updates a line's non-speculative value at a core in place (gather
+    /// donations, reduction keep-backs): both the L2 copy and, if the L1
+    /// copy is not speculatively dirty, the L1 copy.
+    pub(crate) fn set_nonspec_value(&mut self, core: CoreId, line: LineAddr, data: LineData) {
+        if trace_enabled() {
+            eprintln!("    [proto] set_nonspec {core:?} {line} w0={:x} w1={:x}", data[0], data[1]);
+        }
+        let p = &mut self.privs[core.index()];
+        let l2e = p.l2.get(line).expect("set_nonspec_value without L2 entry");
+        l2e.data = data;
+        l2e.meta.dirty = true;
+        if let Some(e) = p.l1.get(line) {
+            if !e.meta.spec.dirty_data {
+                e.data = data;
+                e.meta.dirty = false;
+            }
+        }
+    }
+}

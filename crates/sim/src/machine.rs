@@ -1,0 +1,255 @@
+//! The simulated machine and its deterministic scheduler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use commtm_htm::{CoreExec, CoreStats, HtmConfig, Scheme, StepResult};
+use commtm_mem::{Addr, CoreId, Heap};
+use commtm_protocol::{LabelTable, MemOp, MemSystem, ProtoConfig, ProtoEvent, TxTable};
+use commtm_tx::Program;
+
+use crate::report::RunReport;
+
+/// Top-level machine configuration: how many threads (= cores), which
+/// conflict-detection scheme, and the hierarchy parameters (Table I by
+/// default).
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Active cores (the paper sweeps 1–128 threads on a 128-core chip).
+    pub threads: usize,
+    /// Protocol and hierarchy parameters.
+    pub proto: ProtoConfig,
+    /// HTM engine parameters.
+    pub htm: HtmConfig,
+    /// Base seed for per-core RNGs (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Safety valve: abort the run if any core's clock exceeds this bound.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's configuration with `threads` active cores under the
+    /// given scheme.
+    pub fn new(threads: usize, scheme: Scheme) -> Self {
+        MachineConfig {
+            threads,
+            proto: ProtoConfig::paper_with_cores(threads),
+            htm: HtmConfig::new(scheme),
+            seed: 0x5EED,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Overrides the base RNG seed (for multi-seed experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.proto.seed = seed ^ 0x9E37_79B9;
+        self
+    }
+}
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A core exceeded [`MachineConfig::max_cycles`]; the workload probably
+    /// livelocked.
+    CycleLimit {
+        /// The offending core.
+        core: usize,
+        /// Its clock at detection.
+        clock: u64,
+    },
+    /// No program was installed for an active core.
+    MissingProgram {
+        /// The core with no program.
+        core: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { core, clock } => {
+                write!(f, "core {core} exceeded the cycle limit at cycle {clock}")
+            }
+            SimError::MissingProgram { core } => {
+                write!(f, "core {core} has no program installed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A complete simulated machine: memory system, cores, programs.
+pub struct Machine {
+    cfg: MachineConfig,
+    sys: MemSystem,
+    txs: TxTable,
+    cores: Vec<Option<CoreExec>>,
+    heap: Heap,
+    next_ts: u64,
+}
+
+impl Machine {
+    /// Builds a machine with the given configuration and registered
+    /// labels.
+    pub fn new(cfg: MachineConfig, labels: LabelTable) -> Self {
+        let sys = MemSystem::new(cfg.proto.clone(), labels);
+        let txs = TxTable::new(cfg.threads);
+        let cores = (0..cfg.threads).map(|_| None).collect();
+        // Simulated data lives above the first 64KB (avoids the null page).
+        let heap = Heap::new(Addr::new(0x1_0000), 1 << 40);
+        Machine { cfg, sys, txs, cores, heap, next_ts: 1 }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Allocator over the simulated address space, for laying out shared
+    /// data before a run.
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Writes a word directly to main memory (pre-run initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already cached (initialize before running).
+    pub fn poke(&mut self, addr: Addr, value: u64) {
+        self.sys.poke_word(addr, value);
+    }
+
+    /// Installs the program and per-thread user state for one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn set_program(
+        &mut self,
+        thread: usize,
+        program: Program,
+        user: impl std::any::Any + Send,
+    ) {
+        let core = CoreId::new(thread);
+        let seed = self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(thread as u64);
+        self.cores[thread] = Some(CoreExec::new(core, program, user, seed, &self.cfg.htm));
+    }
+
+    /// Runs all programs to completion under the deterministic min-clock
+    /// scheduler and returns the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a core has no program or exceeds the configured cycle
+    /// limit.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.is_none() {
+                return Err(SimError::MissingProgram { core: i });
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            let c = c.as_ref().expect("checked above");
+            if !c.is_done() {
+                heap.push(Reverse((c.clock(), i)));
+            }
+        }
+
+        let mut events: Vec<ProtoEvent> = Vec::new();
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let mut core = self.cores[idx].take().expect("core present");
+            let result =
+                core.step(&mut self.sys, &mut self.txs, &self.cfg.htm, &mut self.next_ts, &mut events);
+            let clock = core.clock();
+            self.cores[idx] = Some(core);
+
+            // Deliver asynchronous aborts to their victims.
+            for ev in events.drain(..) {
+                match ev {
+                    ProtoEvent::Aborted { core: victim, cause } => {
+                        let v = self.cores[victim.index()]
+                            .as_mut()
+                            .expect("victim core exists");
+                        v.notify_aborted(cause);
+                    }
+                }
+            }
+
+            if clock > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { core: idx, clock });
+            }
+            if result == StepResult::Ran {
+                heap.push(Reverse((clock, idx)));
+            }
+        }
+
+        debug_assert!(self.sys.check_invariants().is_ok(), "post-run invariant violation");
+        Ok(self.report())
+    }
+
+    /// Builds a report from the current statistics (callable after
+    /// [`Machine::run`]).
+    pub fn report(&self) -> RunReport {
+        let per_core: Vec<CoreStats> = self
+            .cores
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.stats().clone()).unwrap_or_default())
+            .collect();
+        let total_cycles =
+            per_core.iter().map(|s| s.finish_cycle).max().unwrap_or(0);
+        RunReport::new(total_cycles, per_core, self.sys.stats().clone())
+    }
+
+    /// Coherently reads a word after a run (triggers reductions as
+    /// needed), from core 0's perspective, outside any transaction.
+    pub fn read_word(&mut self, addr: Addr) -> u64 {
+        self.sys.read_word_coherent(CoreId::new(0), addr, &mut self.txs)
+    }
+
+    /// Coherently writes a word outside any transaction (rarely needed;
+    /// prefer [`Machine::poke`] before the run).
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        self.sys.access(CoreId::new(0), MemOp::Store(value), addr, &mut self.txs);
+    }
+
+    /// Borrows a core's execution environment (post-run user state
+    /// inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no program installed.
+    pub fn env(&self, thread: usize) -> &commtm_tx::Env {
+        self.cores[thread].as_ref().expect("program installed").env()
+    }
+
+    /// Audits protocol invariants (see
+    /// [`MemSystem::check_invariants`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.sys.check_invariants()
+    }
+
+    /// The scheme this machine runs.
+    pub fn scheme(&self) -> Scheme {
+        self.cfg.htm.scheme
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("threads", &self.cfg.threads)
+            .field("scheme", &self.cfg.htm.scheme)
+            .finish_non_exhaustive()
+    }
+}

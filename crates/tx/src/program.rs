@@ -1,0 +1,154 @@
+//! Programs and blocks.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ctx::{CtlCtx, TxCtx};
+
+/// Control-flow result of a [`Block::Ctl`] block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ctl {
+    /// Fall through to the next block.
+    Next,
+    /// Jump to the block at the given index (see
+    /// [`ProgramBuilder::here`]).
+    Jump(usize),
+    /// The program is finished.
+    Done,
+}
+
+/// A closure body for Tx and Plain blocks.
+pub type BlockFn = Arc<dyn Fn(&mut TxCtx<'_, '_>) + Send + Sync>;
+/// A closure body for Ctl blocks.
+pub type CtlFn = Arc<dyn Fn(&mut CtlCtx<'_>) -> Ctl + Send + Sync>;
+
+/// One unit of a per-thread program.
+#[derive(Clone)]
+pub enum Block {
+    /// An atomic transaction: the closure runs between `tx_begin` and
+    /// `tx_end`, restarts on abort, and commits when it completes.
+    Tx(BlockFn),
+    /// Non-transactional code with coherent memory operations. Plain
+    /// accesses carry no timestamp, cannot be NACKed, and win all conflicts
+    /// (paper Sec. III-B4).
+    Plain(BlockFn),
+    /// Pure control flow: no memory operations, runs exactly once.
+    Ctl(CtlFn),
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Block::Tx(_) => f.write_str("Tx(..)"),
+            Block::Plain(_) => f.write_str("Plain(..)"),
+            Block::Ctl(_) => f.write_str("Ctl(..)"),
+        }
+    }
+}
+
+/// A per-thread program: a sequence of blocks executed by one simulated
+/// core. Build with [`Program::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    blocks: Vec<Block>,
+}
+
+impl Program {
+    /// Starts building a program.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// The block at `index`.
+    pub fn block(&self, index: usize) -> &Block {
+        &self.blocks[index]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Incrementally builds a [`Program`].
+///
+/// Jump targets are plain block indices captured with
+/// [`ProgramBuilder::here`] *before* emitting the target block.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<Block>,
+}
+
+impl ProgramBuilder {
+    /// The index the *next* emitted block will receive; capture it to jump
+    /// back here later.
+    pub fn here(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Emits a transaction block.
+    pub fn tx(&mut self, body: impl Fn(&mut TxCtx<'_, '_>) + Send + Sync + 'static) -> &mut Self {
+        self.blocks.push(Block::Tx(Arc::new(body)));
+        self
+    }
+
+    /// Emits a non-transactional block.
+    pub fn plain(
+        &mut self,
+        body: impl Fn(&mut TxCtx<'_, '_>) + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.blocks.push(Block::Plain(Arc::new(body)));
+        self
+    }
+
+    /// Emits a control block.
+    pub fn ctl(
+        &mut self,
+        body: impl Fn(&mut CtlCtx<'_>) -> Ctl + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.blocks.push(Block::Ctl(Arc::new(body)));
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(&mut self) -> Program {
+        Program { blocks: std::mem::take(&mut self.blocks) }
+    }
+}
+
+impl fmt::Debug for ProgramBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramBuilder").field("blocks", &self.blocks.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_indices() {
+        let mut b = Program::builder();
+        assert_eq!(b.here(), 0);
+        b.ctl(|_| Ctl::Next);
+        assert_eq!(b.here(), 1);
+        b.tx(|_| {});
+        b.plain(|_| {});
+        let p = b.build();
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.block(0), Block::Ctl(_)));
+        assert!(matches!(p.block(1), Block::Tx(_)));
+        assert!(matches!(p.block(2), Block::Plain(_)));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::builder().build();
+        assert!(p.is_empty());
+    }
+}

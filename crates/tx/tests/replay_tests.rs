@@ -1,0 +1,272 @@
+//! Tests of the replay execution model: one new operation per step,
+//! register rollback, deferred user-state writes, determinism checking,
+//! work accounting, and abort handling.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use commtm_mem::Addr;
+use commtm_tx::{BlockFn, BlockRunner, Env, MemPort, OpResult, StepOutcome, TxOp};
+
+/// A mock memory: flat word map, fixed 3-cycle latency, scriptable aborts.
+#[derive(Default)]
+struct MockPort {
+    mem: HashMap<u64, u64>,
+    ops: Vec<TxOp>,
+    abort_on_op: Option<usize>,
+    rng_next: u64,
+}
+
+impl MemPort for MockPort {
+    fn op(&mut self, op: TxOp) -> OpResult {
+        let n = self.ops.len();
+        self.ops.push(op);
+        if self.abort_on_op == Some(n) {
+            return OpResult { value: 0, latency: 3, aborted: true };
+        }
+        let value = match op {
+            TxOp::Load(a) | TxOp::LoadL(_, a) | TxOp::Gather(_, a) => {
+                *self.mem.get(&a.raw()).unwrap_or(&0)
+            }
+            TxOp::Store(a, v) | TxOp::StoreL(_, a, v) => {
+                self.mem.insert(a.raw(), v);
+                v
+            }
+        };
+        OpResult { value, latency: 3, aborted: false }
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.rng_next += 1;
+        self.rng_next
+    }
+}
+
+fn body(f: impl Fn(&mut commtm_tx::TxCtx<'_, '_>) + Send + Sync + 'static) -> BlockFn {
+    Arc::new(f)
+}
+
+const A: Addr = Addr::new(0x100);
+const B: Addr = Addr::new(0x200);
+
+#[test]
+fn one_new_op_per_step() {
+    let mut port = MockPort::default();
+    port.mem.insert(A.raw(), 7);
+    let mut env = Env::new(4, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        let v = t.load(A);
+        t.store(B, v + 1);
+        t.store(A, v + 2);
+    });
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
+    // Third pass performs the last op and completes.
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    // Exactly three real operations hit the port, in program order.
+    assert_eq!(
+        port.ops,
+        vec![TxOp::Load(A), TxOp::Store(B, 8), TxOp::Store(A, 9)]
+    );
+    assert_eq!(port.mem[&B.raw()], 8);
+}
+
+#[test]
+fn loads_replay_logged_values_not_memory() {
+    let mut port = MockPort::default();
+    port.mem.insert(A.raw(), 7);
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        let v = t.load(A);
+        t.store(B, v);
+    });
+    runner.step(&blk, &mut env, &mut port);
+    // Memory changes under us; the logged read must stay 7 (the HTM layer
+    // guarantees this is only possible for values conflict detection
+    // protects).
+    port.mem.insert(A.raw(), 99);
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    assert_eq!(port.mem[&B.raw()], 7);
+}
+
+#[test]
+fn registers_roll_back_on_incomplete_pass_and_commit_on_done() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        let r = t.reg(0);
+        t.set_reg(0, r + 1);
+        t.load(A);
+        t.load(B);
+    });
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
+    assert_eq!(env.regs[0], 0, "register effects of incomplete passes are discarded");
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    assert_eq!(env.regs[0], 1, "completed block commits register effects exactly once");
+}
+
+#[test]
+fn deferred_user_writes_apply_exactly_once() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, 0u64);
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        t.load(A);
+        t.load(B);
+        t.defer(|count: &mut u64| *count += 1);
+    });
+    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    assert_eq!(*env.user::<u64>(), 1);
+}
+
+#[test]
+fn abort_discards_pass_and_resets_cleanly() {
+    let mut port = MockPort::default();
+    port.abort_on_op = Some(1); // the second real op aborts
+    let mut env = Env::new(1, 0u64);
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        t.set_reg(0, 42);
+        t.load(A);
+        t.store(B, 1);
+        t.defer(|c: &mut u64| *c += 1);
+    });
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
+    let out = runner.step(&blk, &mut env, &mut port);
+    assert!(matches!(out, StepOutcome::Abort { .. }));
+    assert_eq!(env.regs[0], 0, "aborted attempt must not leak register writes");
+    assert_eq!(*env.user::<u64>(), 0, "aborted attempt must not run defers");
+    // Restart: the runner re-executes from scratch.
+    runner.reset();
+    port.abort_on_op = None;
+    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    assert_eq!(env.regs[0], 42);
+    assert_eq!(*env.user::<u64>(), 1);
+}
+
+#[test]
+fn rand_is_memoized_within_an_attempt() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(2, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        let r1 = t.rand();
+        t.store(A, r1);
+        let r2 = t.rand();
+        t.store(B, r2);
+        t.set_reg(0, r1);
+        t.set_reg(1, r2);
+    });
+    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    // r1 drawn once (=1), r2 once (=2), despite multiple replays.
+    assert_eq!(env.regs[0], 1);
+    assert_eq!(env.regs[1], 2);
+    assert_eq!(port.mem[&A.raw()], 1);
+    assert_eq!(port.mem[&B.raw()], 2);
+}
+
+#[test]
+fn work_cycles_charged_exactly_once() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        t.work(10);
+        t.load(A);
+        t.work(5);
+        t.load(B);
+    });
+    let mut total = 0;
+    loop {
+        let out = runner.step(&blk, &mut env, &mut port);
+        total += out.cycles();
+        if matches!(out, StepOutcome::Done { .. }) {
+            break;
+        }
+    }
+    // Two passes: pass 1 performs load A (charging work 10+5 seen up to
+    // the blocking point), pass 2 performs load B and completes. Work is
+    // charged exactly once (15), ops once each (2 x 3), issue once per
+    // pass (2 x 1).
+    let issue_and_latency = 2 * 1 + 2 * 3;
+    assert_eq!(total, issue_and_latency + 15);
+}
+
+#[test]
+fn pointer_chase_terminates_under_zero_reads() {
+    // A loop that follows a pointer chain; in satiated mode reads return 0,
+    // which must end the loop (rule 2 of the replay model).
+    let mut port = MockPort::default();
+    port.mem.insert(0x100, 0x200);
+    port.mem.insert(0x200, 0x300);
+    port.mem.insert(0x300, 0);
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|t| {
+        let mut p = 0x100u64;
+        let mut hops = 0u64;
+        while p != 0 {
+            p = t.load(Addr::new(p));
+            hops += 1;
+        }
+        t.set_reg(0, hops);
+    });
+    let mut steps = 0;
+    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {
+        steps += 1;
+        assert!(steps < 100, "replay must converge");
+    }
+    assert_eq!(env.regs[0], 3);
+}
+
+#[test]
+#[should_panic(expected = "nondeterministic block")]
+fn divergent_replay_panics() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, std::cell::Cell::new(0u64));
+    let mut runner = BlockRunner::new();
+    // Illegal: op sequence depends on ambient state mutated across passes.
+    let blk = body(|t| {
+        let c = t.user::<std::cell::Cell<u64>>();
+        c.set(c.get() + 1);
+        if c.get() % 2 == 1 {
+            t.load(A);
+        } else {
+            t.load(B);
+        }
+        t.load(Addr::new(0x900));
+    });
+    runner.step(&blk, &mut env, &mut port);
+    runner.step(&blk, &mut env, &mut port);
+}
+
+#[test]
+fn empty_block_completes_immediately() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    let blk = body(|_| {});
+    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    assert!(port.ops.is_empty());
+}
+
+#[test]
+fn labeled_ops_flow_through_port() {
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    let l = commtm_mem::LabelId::new(2);
+    let blk = body(move |t| {
+        let v = t.load_l(l, A);
+        t.store_l(l, A, v + 1);
+        t.load_gather(l, A);
+    });
+    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    assert_eq!(
+        port.ops,
+        vec![TxOp::LoadL(l, A), TxOp::StoreL(l, A, 1), TxOp::Gather(l, A)]
+    );
+}

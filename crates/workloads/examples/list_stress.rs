@@ -1,0 +1,22 @@
+//! Exhaustive randomized conservation check for the list microbenchmark.
+use commtm::Scheme;
+use commtm_workloads::micro::list::{run, Cfg, Mix};
+use commtm_workloads::BaseCfg;
+
+fn main() {
+    let mut checked = 0;
+    for ops in [10, 20, 40, 80, 150] {
+        for threads in [1, 2, 3, 4, 8] {
+            for seed in 0..10 {
+                for mix in [Mix::EnqueueOnly, Mix::Mixed] {
+                    for scheme in [Scheme::Baseline, Scheme::CommTm] {
+                        let cfg = Cfg::new(BaseCfg::new(threads, scheme).with_seed(seed), ops, mix);
+                        run(&cfg);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("all {checked} configurations conserve list contents");
+}

@@ -1,0 +1,7 @@
+//! The paper's full TM applications (Sec. VII, Table II).
+
+pub mod boruvka;
+pub mod genome;
+pub mod kmeans;
+pub mod ssca2;
+pub mod vacation;

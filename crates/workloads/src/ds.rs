@@ -1,0 +1,270 @@
+//! Simulated-memory data structures and program fragments shared by
+//! workloads: word-access abstraction, bounded min-heaps (top-K sets),
+//! sense-free barriers, and the top-K label definition.
+
+use commtm::{Addr, Ctl, LabelDef, LineData, ProgramBuilder, ReduceOps, TxCtx};
+
+/// Uniform word access over simulated memory, so the same data-structure
+/// code runs inside transactions ([`TxWords`]) and inside reduction
+/// handlers ([`RedWords`]).
+pub trait Words {
+    /// Reads the word at `addr`.
+    fn get(&mut self, addr: Addr) -> u64;
+    /// Writes the word at `addr`.
+    fn put(&mut self, addr: Addr, value: u64);
+}
+
+/// [`Words`] over a transaction context (conventional loads/stores).
+pub struct TxWords<'a, 'b, 'c>(pub &'a mut TxCtx<'b, 'c>);
+
+impl Words for TxWords<'_, '_, '_> {
+    fn get(&mut self, addr: Addr) -> u64 {
+        self.0.load(addr)
+    }
+    fn put(&mut self, addr: Addr, value: u64) {
+        self.0.store(addr, value);
+    }
+}
+
+/// [`Words`] over a reduction-handler context.
+pub struct RedWords<'a>(pub &'a mut dyn ReduceOps);
+
+impl Words for RedWords<'_> {
+    fn get(&mut self, addr: Addr) -> u64 {
+        self.0.read(addr)
+    }
+    fn put(&mut self, addr: Addr, value: u64) {
+        self.0.write(addr, value);
+    }
+}
+
+/// A bounded min-heap in simulated memory, used as a top-K set: it retains
+/// the K largest values inserted. Layout: word 0 = length, word 1 =
+/// capacity, words 2.. = elements (min-heap order, so the smallest retained
+/// value is at the root and eviction is O(log K)).
+pub mod simheap {
+    use super::Words;
+    use commtm::Addr;
+
+    fn elem(heap: Addr, i: u64) -> Addr {
+        heap.offset_words(2 + i)
+    }
+
+    /// Initializes an empty heap of the given capacity (host-side setup
+    /// uses this through a `Words` adapter too).
+    pub fn init(w: &mut impl Words, heap: Addr, capacity: u64) {
+        w.put(heap, 0);
+        w.put(heap.offset_words(1), capacity);
+    }
+
+    /// Number of retained elements.
+    pub fn len(w: &mut impl Words, heap: Addr) -> u64 {
+        w.get(heap)
+    }
+
+    /// Inserts `x`, evicting the smallest retained value if full and `x`
+    /// exceeds it. Returns whether the heap changed.
+    pub fn insert(w: &mut impl Words, heap: Addr, x: u64) -> bool {
+        let len = w.get(heap);
+        let cap = w.get(heap.offset_words(1));
+        if len < cap {
+            w.put(elem(heap, len), x);
+            w.put(heap, len + 1);
+            sift_up(w, heap, len);
+            true
+        } else {
+            if cap == 0 || x <= w.get(elem(heap, 0)) {
+                return false;
+            }
+            w.put(elem(heap, 0), x);
+            sift_down(w, heap, 0, cap);
+            true
+        }
+    }
+
+    /// Reads out all retained elements (unordered).
+    pub fn drain_values(w: &mut impl Words, heap: Addr) -> Vec<u64> {
+        let len = w.get(heap);
+        (0..len).map(|i| w.get(elem(heap, i))).collect()
+    }
+
+    fn sift_up(w: &mut impl Words, heap: Addr, mut i: u64) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let (a, b) = (w.get(elem(heap, i)), w.get(elem(heap, parent)));
+            if a < b {
+                w.put(elem(heap, i), b);
+                w.put(elem(heap, parent), a);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(w: &mut impl Words, heap: Addr, mut i: u64, len: u64) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            let mut sv = w.get(elem(heap, i));
+            if l < len {
+                let lv = w.get(elem(heap, l));
+                if lv < sv {
+                    smallest = l;
+                    sv = lv;
+                }
+            }
+            if r < len {
+                let rv = w.get(elem(heap, r));
+                if rv < sv {
+                    smallest = r;
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            let a = w.get(elem(heap, i));
+            let b = w.get(elem(heap, smallest));
+            w.put(elem(heap, i), b);
+            w.put(elem(heap, smallest), a);
+            i = smallest;
+        }
+    }
+}
+
+/// The top-K set label (paper Fig. 15): the descriptor line's word 0 points
+/// to a [`simheap`]; each U-state copy points to a thread-local heap, and
+/// reduction merges the source heap into the destination one, draining it.
+pub fn topk_label() -> LabelDef {
+    LabelDef::new("TOPK", LineData::zeroed(), |ops, dst, src| {
+        if src[0] == 0 {
+            return;
+        }
+        if dst[0] == 0 {
+            dst[0] = src[0];
+            return;
+        }
+        let mut w = RedWords(ops);
+        let (to, from) = (Addr::new(dst[0]), Addr::new(src[0]));
+        let values = simheap::drain_values(&mut w, from);
+        for v in values {
+            simheap::insert(&mut w, to, v);
+        }
+        w.put(from, 0); // source heap emptied
+    })
+}
+
+/// Emits a sense-free barrier into a program: one transactional arrival
+/// increment, then a non-transactional spin until all `threads` of the
+/// current phase have arrived. Each crossing bumps the phase register, so a
+/// single monotonically-increasing counter serves every barrier in the
+/// program.
+///
+/// `phase_reg` must be a register reserved for barrier accounting.
+pub fn emit_barrier(p: &mut ProgramBuilder, counter: Addr, threads: u64, phase_reg: usize) {
+    // Arrive.
+    p.tx(move |t| {
+        let v = t.load(counter);
+        t.store(counter, v + 1);
+    });
+    p.ctl(move |c| {
+        c.regs[phase_reg] += 1;
+        Ctl::Next
+    });
+    // Spin until everyone in this phase arrived.
+    let spin = p.here();
+    p.plain(move |t| {
+        let v = t.load(counter);
+        let target = t.reg(phase_reg) * threads;
+        // Record the decision for the following Ctl block.
+        t.set_reg(phase_reg + 1, u64::from(v >= target));
+        if v < target {
+            t.work(32); // polling interval
+        }
+    });
+    p.ctl(move |c| {
+        if c.regs[phase_reg + 1] == 1 {
+            Ctl::Next
+        } else {
+            Ctl::Jump(spin)
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapWords(HashMap<u64, u64>);
+    impl Words for MapWords {
+        fn get(&mut self, a: Addr) -> u64 {
+            *self.0.get(&a.raw()).unwrap_or(&0)
+        }
+        fn put(&mut self, a: Addr, v: u64) {
+            self.0.insert(a.raw(), v);
+        }
+    }
+
+    #[test]
+    fn simheap_retains_top_k() {
+        let mut w = MapWords(HashMap::new());
+        let h = Addr::new(0x1000);
+        simheap::init(&mut w, h, 4);
+        for v in [5u64, 1, 9, 7, 3, 8, 2, 6] {
+            simheap::insert(&mut w, h, v);
+        }
+        let mut got = simheap::drain_values(&mut w, h);
+        got.sort_unstable();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn simheap_handles_duplicates_and_underflow() {
+        let mut w = MapWords(HashMap::new());
+        let h = Addr::new(0x1000);
+        simheap::init(&mut w, h, 3);
+        for v in [4u64, 4, 4, 4, 4] {
+            simheap::insert(&mut w, h, v);
+        }
+        assert_eq!(simheap::len(&mut w, h), 3);
+        assert!(!simheap::insert(&mut w, h, 1), "too-small values are rejected when full");
+    }
+
+    #[test]
+    fn topk_label_merges_heaps() {
+        let def = topk_label();
+        let mut w = MapWords(HashMap::new());
+        let (h1, h2) = (Addr::new(0x100), Addr::new(0x800));
+        simheap::init(&mut w, h1, 3);
+        simheap::init(&mut w, h2, 3);
+        for v in [10u64, 30, 50] {
+            simheap::insert(&mut w, h1, v);
+        }
+        for v in [20u64, 40, 60] {
+            simheap::insert(&mut w, h2, v);
+        }
+        struct Ops<'a>(&'a mut MapWords);
+        impl ReduceOps for Ops<'_> {
+            fn read(&mut self, a: Addr) -> u64 {
+                self.0.get(a)
+            }
+            fn write(&mut self, a: Addr, v: u64) {
+                self.0.put(a, v);
+            }
+        }
+        let mut dst = LineData::zeroed();
+        dst[0] = h1.raw();
+        let mut src = LineData::zeroed();
+        src[0] = h2.raw();
+        (def.reduce())(&mut Ops(&mut w), &mut dst, &src);
+        let mut got = simheap::drain_values(&mut w, h1);
+        got.sort_unstable();
+        assert_eq!(got, vec![40, 50, 60]);
+        assert_eq!(simheap::len(&mut w, h2), 0, "source heap drained");
+        // Merging an empty source is a no-op.
+        let before = w.0.clone();
+        (def.reduce())(&mut Ops(&mut w), &mut dst, &LineData::zeroed());
+        assert_eq!(w.0, before);
+    }
+}

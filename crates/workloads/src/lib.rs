@@ -1,0 +1,33 @@
+//! The CommTM paper's workloads, implemented on the `commtm` public API.
+//!
+//! # Microbenchmarks (paper Sec. VI)
+//!
+//! - [`micro::counter`] — concurrent increments to one shared counter
+//!   (Fig. 9),
+//! - [`micro::refcount`] — bounded non-negative reference counters, with
+//!   and without gather requests (Fig. 10),
+//! - [`micro::list`] — concurrent linked-list enqueues/dequeues (Fig. 12),
+//! - [`micro::oput`] — ordered puts / priority updates (Fig. 13),
+//! - [`micro::topk`] — top-K set insertions (Fig. 14).
+//!
+//! # Full applications (paper Sec. VII, Table II)
+//!
+//! - [`apps::boruvka`] — minimum spanning tree with OPUT/MIN/MAX/ADD,
+//! - [`apps::kmeans`] — clustering with commutative centroid updates,
+//! - [`apps::ssca2`] — graph kernel with rare global metadata updates,
+//! - [`apps::genome`] — sequence dedup over a hash set with a bounded
+//!   remaining-space counter (uses gathers),
+//! - [`apps::vacation`] — travel reservations over relations with bounded
+//!   remaining-space counters (uses gathers).
+//!
+//! Every workload runs on both [`commtm::Scheme`]s from the *same* program
+//! (labels demote under the baseline), asserts a sequential oracle on its
+//! results, and returns the [`commtm::RunReport`] the benchmark harness
+//! turns into the paper's figures.
+
+pub mod apps;
+pub mod ds;
+pub mod micro;
+mod spec;
+
+pub use spec::BaseCfg;

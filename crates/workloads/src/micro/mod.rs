@@ -1,0 +1,7 @@
+//! The paper's microbenchmarks (Sec. VI).
+
+pub mod counter;
+pub mod list;
+pub mod oput;
+pub mod refcount;
+pub mod topk;

@@ -1,0 +1,121 @@
+//! Ordered puts / priority updates (paper Sec. VI, Fig. 13): each
+//! transaction replaces a shared (key, value) pair if its new key is lower.
+//! The OPUT label lets lower-key puts buffer locally; the baseline mostly
+//! scales too because only smaller keys cause conflicting writes, which is
+//! exactly the paper's observation (31x vs near-linear).
+
+use commtm::prelude::*;
+
+use crate::BaseCfg;
+
+/// Configuration for the ordered-put microbenchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Cfg {
+    /// Threads, scheme, seed.
+    pub base: BaseCfg,
+    /// Total puts across all threads (the paper uses 10M).
+    pub total_puts: u64,
+}
+
+impl Cfg {
+    /// Creates a configuration.
+    pub fn new(base: BaseCfg, total_puts: u64) -> Self {
+        Cfg { base, total_puts }
+    }
+}
+
+/// Per-thread record of the minimum pair this thread attempted.
+#[derive(Default)]
+struct Tally {
+    min_key: u64,
+    min_val: u64,
+}
+
+/// Runs the benchmark; verifies the surviving pair is the global minimum.
+///
+/// # Panics
+///
+/// Panics if the final pair is not the minimum-key pair over every
+/// committed put.
+pub fn run(cfg: &Cfg) -> RunReport {
+    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let oput = b.register_label(labels::oput()).expect("label budget");
+    let mut m = b.build();
+    let pair = m.heap_mut().alloc_lines(1);
+    let key_addr = pair;
+    let val_addr = pair.offset_words(1);
+    // Initialize to the identity (key = MAX) so the first put always wins.
+    m.poke(key_addr, u64::MAX);
+
+    for t in 0..cfg.base.threads {
+        let iters = cfg.base.share(cfg.total_puts, t);
+        const I: usize = 0;
+        let mut p = Program::builder();
+        if iters > 0 {
+            let top = p.here();
+            p.tx(move |c| {
+                // Keys leave headroom below u64::MAX (the identity).
+                let k = c.rand() >> 8;
+                let v = c.rand();
+                let cur = c.load_l(oput, key_addr);
+                if k < cur {
+                    c.store_l(oput, key_addr, k);
+                    c.store_l(oput, val_addr, v);
+                }
+                c.defer(move |t: &mut Tally| {
+                    if k < t.min_key {
+                        t.min_key = k;
+                        t.min_val = v;
+                    }
+                });
+            });
+            p.ctl(move |c| {
+                c.regs[I] += 1;
+                if c.regs[I] < iters {
+                    Ctl::Jump(top)
+                } else {
+                    Ctl::Done
+                }
+            });
+        }
+        m.set_program(
+            t,
+            p.build(),
+            Tally { min_key: u64::MAX, min_val: 0 },
+        );
+    }
+
+    let report = m.run().expect("simulation");
+    // Oracle: the global minimum over every thread's committed draws.
+    let mut best = (u64::MAX, 0u64);
+    for t in 0..cfg.base.threads {
+        let tally = m.env(t).user::<Tally>();
+        if tally.min_key < best.0 {
+            best = (tally.min_key, tally.min_val);
+        }
+    }
+    let (k, v) = (m.read_word(key_addr), m.read_word(val_addr));
+    assert_eq!((k, v), best, "surviving pair must be the global minimum");
+    m.check_invariants().expect("coherence invariants");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commtm::Scheme;
+
+    #[test]
+    fn both_schemes_keep_global_minimum() {
+        for scheme in [Scheme::Baseline, Scheme::CommTm] {
+            run(&Cfg::new(BaseCfg::new(4, scheme), 200));
+        }
+    }
+
+    #[test]
+    fn commtm_reduces_aborts() {
+        let base = run(&Cfg::new(BaseCfg::new(8, Scheme::Baseline), 400));
+        let comm = run(&Cfg::new(BaseCfg::new(8, Scheme::CommTm), 400));
+        assert!(comm.aborts() <= base.aborts());
+    }
+}

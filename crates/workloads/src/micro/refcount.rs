@@ -1,0 +1,197 @@
+//! Reference counting with bounded non-negative counters (paper Secs. IV
+//! and VI, Fig. 10): threads acquire and release references to 16 objects.
+//! `decrement` only commutes while the counter is positive, so CommTM
+//! without gather requests reduces whenever a thread's local partial value
+//! hits zero; gather requests redistribute value between the U-state copies
+//! and restore scalability.
+
+use commtm::prelude::*;
+
+use crate::BaseCfg;
+
+/// Which system variant to run (the three Fig. 10 series).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Conventional HTM (labels demoted).
+    Baseline,
+    /// CommTM, but `decrement` falls straight back to a plain load
+    /// (reduction) when the local value is zero.
+    NoGather,
+    /// CommTM with `load_gather` rebalancing (the paper's full design).
+    Gather,
+}
+
+impl Variant {
+    fn scheme(self) -> Scheme {
+        match self {
+            Variant::Baseline => Scheme::Baseline,
+            Variant::NoGather | Variant::Gather => Scheme::CommTm,
+        }
+    }
+}
+
+/// Configuration for the reference-counting microbenchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Cfg {
+    /// Threads and seed (the scheme is set by `variant`).
+    pub base: BaseCfg,
+    /// System variant.
+    pub variant: Variant,
+    /// Total acquire/release operations (the paper uses 1M).
+    pub total_ops: u64,
+    /// Number of reference-counted objects (the paper uses 16).
+    pub objects: usize,
+    /// Initial references held per thread per object (the paper uses 3).
+    pub initial_refs: u64,
+    /// Maximum references a thread holds per object (the paper uses 10).
+    pub max_refs: u64,
+}
+
+impl Cfg {
+    /// The paper's parameters at a given op count.
+    pub fn new(base: BaseCfg, variant: Variant, total_ops: u64) -> Self {
+        Cfg { base, variant, total_ops, objects: 16, initial_refs: 3, max_refs: 10 }
+    }
+}
+
+/// Per-thread state: references currently held per object, plus a count of
+/// decrements that observed a globally-zero counter (conservation makes
+/// these impossible; the oracle asserts none happened).
+struct Held {
+    refs: Vec<u64>,
+    failed_decrements: u64,
+}
+
+/// Runs the benchmark; verifies reference conservation.
+///
+/// # Panics
+///
+/// Panics if any counter's final value differs from the references held
+/// against it, or if a decrement ever observed a zero global count (which
+/// conservation makes impossible).
+pub fn run(cfg: &Cfg) -> RunReport {
+    let scheme = cfg.variant.scheme();
+    let mut b = MachineBuilder::new(cfg.base.threads, scheme).seed(cfg.base.seed);
+    let add = b.register_label(labels::add()).expect("label budget");
+    let mut m = b.build();
+
+    // One counter per object, each on its own line.
+    let counters: Vec<Addr> =
+        (0..cfg.objects).map(|_| m.heap_mut().alloc_lines(1)).collect();
+    for &c in &counters {
+        m.poke(c, cfg.initial_refs * cfg.base.threads as u64);
+    }
+
+    let use_gather = cfg.variant == Variant::Gather;
+
+    // Registers: I = iteration, OBJ = chosen object, DO_INC = op kind.
+    const I: usize = 0;
+    const OBJ: usize = 1;
+    const DO_INC: usize = 2;
+
+    for t in 0..cfg.base.threads {
+        let iters = cfg.base.share(cfg.total_ops, t);
+        let counters = counters.clone();
+        let objects = cfg.objects as u64;
+        let max_refs = cfg.max_refs;
+        let mut p = Program::builder();
+        if iters > 0 {
+            let top = p.here();
+            // Pick an object and an operation: p(increment) falls linearly
+            // with the references held (1.0 at 0 refs, 0.0 at max).
+            p.ctl(move |c| {
+                let obj = c.rand_below(objects);
+                c.regs[OBJ] = obj;
+                let held = c.user::<Held>().refs[obj as usize];
+                let p_inc_num = max_refs.saturating_sub(held);
+                let draw = c.rand_below(max_refs);
+                c.regs[DO_INC] = u64::from(draw < p_inc_num);
+                Ctl::Next
+            });
+            let counters_tx = counters.clone();
+            p.tx(move |c| {
+                let obj = c.reg(OBJ) as usize;
+                let addr = counters_tx[obj];
+                if c.reg(DO_INC) == 1 {
+                    // Acquire: increments always commute.
+                    let v = c.load_l(add, addr);
+                    c.store_l(add, addr, v + 1);
+                    c.defer(move |h: &mut Held| h.refs[obj] += 1);
+                } else {
+                    // Release: the paper's bounded decrement (Sec. IV).
+                    let mut v = c.load_l(add, addr);
+                    if v == 0 && use_gather {
+                        v = c.load_gather(add, addr);
+                    }
+                    if v == 0 {
+                        v = c.load(addr); // triggers a reduction
+                    }
+                    if v > 0 {
+                        c.store_l(add, addr, v - 1);
+                        c.defer(move |h: &mut Held| h.refs[obj] -= 1);
+                    } else {
+                        // Impossible under conservation; counted and
+                        // asserted zero by the oracle.
+                        c.defer(move |h: &mut Held| h.failed_decrements += 1);
+                    }
+                }
+            });
+            p.ctl(move |c| {
+                c.regs[I] += 1;
+                if c.regs[I] < iters {
+                    Ctl::Jump(top)
+                } else {
+                    Ctl::Done
+                }
+            });
+        }
+        m.set_program(
+            t,
+            p.build(),
+            Held { refs: vec![cfg.initial_refs; cfg.objects], failed_decrements: 0 },
+        );
+    }
+
+    let report = m.run().expect("simulation");
+
+    // Conservation oracle: each counter equals the sum of references held,
+    // and no decrement ever saw a zero global count.
+    for (o, &c) in counters.iter().enumerate() {
+        let held: u64 = (0..cfg.base.threads).map(|t| m.env(t).user::<Held>().refs[o]).sum();
+        let v = m.read_word(c);
+        assert_eq!(v, held, "object {o}: counter must equal held references");
+    }
+    let failed: u64 =
+        (0..cfg.base.threads).map(|t| m.env(t).user::<Held>().failed_decrements).sum();
+    assert_eq!(failed, 0, "conservation: a held reference implies a positive count");
+    m.check_invariants().expect("coherence invariants");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_conserve_references() {
+        for variant in [Variant::Baseline, Variant::NoGather, Variant::Gather] {
+            let base = BaseCfg::new(4, variant.scheme());
+            run(&Cfg::new(base, variant, 400));
+        }
+    }
+
+    #[test]
+    fn gather_requests_are_issued() {
+        let base = BaseCfg::new(8, Scheme::CommTm);
+        let r = run(&Cfg { objects: 2, ..Cfg::new(base, Variant::Gather, 800) });
+        assert!(r.core_totals().gather_ops > 0, "low counters should trigger gathers");
+    }
+
+    #[test]
+    fn single_thread_each_variant() {
+        for variant in [Variant::Baseline, Variant::NoGather, Variant::Gather] {
+            let base = BaseCfg::new(1, variant.scheme());
+            run(&Cfg::new(base, variant, 100));
+        }
+    }
+}

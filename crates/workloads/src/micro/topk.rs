@@ -1,0 +1,147 @@
+//! Top-K set insertions (paper Sec. VI, Figs. 14 and 15): a top-K set
+//! retains the K highest inserted elements. The descriptor line holds a
+//! pointer to a heap; under CommTM each thread builds a *local* heap behind
+//! its U-state descriptor copy and reductions merge them (Fig. 15), while
+//! the baseline funnels every insert through one shared heap and
+//! serializes.
+
+use commtm::prelude::*;
+
+use crate::ds::{simheap, topk_label, TxWords, Words};
+use crate::BaseCfg;
+
+/// Configuration for the top-K microbenchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Cfg {
+    /// Threads, scheme, seed.
+    pub base: BaseCfg,
+    /// Total insertions (the paper uses 10M).
+    pub total_inserts: u64,
+    /// K (the paper uses a top-1000 set).
+    pub k: u64,
+}
+
+impl Cfg {
+    /// Creates a configuration.
+    pub fn new(base: BaseCfg, total_inserts: u64, k: u64) -> Self {
+        Cfg { base, total_inserts, k }
+    }
+}
+
+/// Runs the benchmark; verifies the retained set equals the K largest
+/// committed insertions.
+///
+/// # Panics
+///
+/// Panics if the final heap differs from the sequential top-K oracle.
+pub fn run(cfg: &Cfg) -> RunReport {
+    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let topk = b.register_label(topk_label()).expect("label budget");
+    let mut m = b.build();
+    let desc = m.heap_mut().alloc_lines(1);
+
+    // One heap per thread (CommTM uses them as the local partial heaps; the
+    // baseline only ever installs thread 0's... whichever first commits the
+    // descriptor initialization).
+    let heap_words = 2 + cfg.k;
+    let heaps: Vec<Addr> =
+        (0..cfg.base.threads).map(|_| m.heap_mut().alloc(heap_words * 8, 64)).collect();
+    for &h in &heaps {
+        m.poke(h.offset_words(1), cfg.k); // capacity; len starts 0
+    }
+
+    for t in 0..cfg.base.threads {
+        let iters = cfg.base.share(cfg.total_inserts, t);
+        let my_heap = heaps[t];
+        const I: usize = 0;
+        let mut p = Program::builder();
+        if iters > 0 {
+            let top = p.here();
+            p.tx(move |c| {
+                let x = c.rand();
+                let mut hp = c.load_l(topk, desc);
+                if hp == 0 {
+                    // Install this thread's local heap behind the (partial)
+                    // descriptor.
+                    hp = my_heap.raw();
+                    c.store_l(topk, desc, hp);
+                }
+                simheap::insert(&mut TxWords(c), Addr::new(hp), x);
+                c.defer(move |seen: &mut Vec<u64>| seen.push(x));
+            });
+            p.ctl(move |c| {
+                c.regs[I] += 1;
+                if c.regs[I] < iters {
+                    Ctl::Jump(top)
+                } else {
+                    Ctl::Done
+                }
+            });
+        }
+        m.set_program(t, p.build(), Vec::<u64>::new());
+    }
+
+    let report = m.run().expect("simulation");
+
+    // A plain read of the descriptor reduces all local heaps into one.
+    let final_heap = Addr::new(m.read_word(desc));
+    assert!(!final_heap.is_null(), "descriptor must point at the merged heap");
+    let mut host = HostWords(&mut m);
+    let mut got = simheap::drain_values(&mut host, final_heap);
+    got.sort_unstable();
+
+    // Oracle: the K largest over every committed insertion.
+    let mut all: Vec<u64> = Vec::new();
+    for t in 0..cfg.base.threads {
+        all.extend(m.env(t).user::<Vec<u64>>());
+    }
+    assert_eq!(all.len() as u64, cfg.total_inserts);
+    all.sort_unstable();
+    let want: Vec<u64> =
+        all.iter().rev().take(cfg.k.min(cfg.total_inserts) as usize).rev().copied().collect();
+    assert_eq!(got, want, "retained set must be the K largest insertions");
+    m.check_invariants().expect("coherence invariants");
+    report
+}
+
+/// Host-side `Words` over coherent machine reads (post-run verification).
+struct HostWords<'a>(&'a mut Machine);
+
+impl Words for HostWords<'_> {
+    fn get(&mut self, addr: Addr) -> u64 {
+        self.0.read_word(addr)
+    }
+    fn put(&mut self, addr: Addr, value: u64) {
+        self.0.write_word(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commtm::Scheme;
+
+    #[test]
+    fn both_schemes_retain_top_k() {
+        for scheme in [Scheme::Baseline, Scheme::CommTm] {
+            run(&Cfg::new(BaseCfg::new(4, scheme), 300, 16));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_inserts() {
+        run(&Cfg::new(BaseCfg::new(2, Scheme::CommTm), 20, 64));
+    }
+
+    #[test]
+    fn commtm_scales_better_than_baseline() {
+        let base = run(&Cfg::new(BaseCfg::new(8, Scheme::Baseline), 400, 16));
+        let comm = run(&Cfg::new(BaseCfg::new(8, Scheme::CommTm), 400, 16));
+        assert!(
+            comm.total_cycles < base.total_cycles,
+            "CommTM should win on contended top-K inserts ({} vs {})",
+            comm.total_cycles,
+            base.total_cycles
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Common workload configuration.
+
+use commtm::Scheme;
+
+/// Parameters shared by every workload: thread count, scheme, seed.
+#[derive(Clone, Copy, Debug)]
+pub struct BaseCfg {
+    /// Number of threads (= active cores, 1–128).
+    pub threads: usize,
+    /// Conflict-detection scheme.
+    pub scheme: Scheme,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl BaseCfg {
+    /// A config for `threads` threads under `scheme` with the default
+    /// seed.
+    pub fn new(threads: usize, scheme: Scheme) -> Self {
+        BaseCfg { threads, scheme, seed: 0xC0FFEE }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Splits `total` work items across threads; thread `t` receives the
+    /// remainder-adjusted share (shares differ by at most one).
+    pub fn share(&self, total: u64, t: usize) -> u64 {
+        let n = self.threads as u64;
+        let base = total / n;
+        let extra = total % n;
+        base + u64::from((t as u64) < extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_total() {
+        let cfg = BaseCfg::new(7, Scheme::CommTm);
+        let total = 1000u64;
+        let sum: u64 = (0..7).map(|t| cfg.share(total, t)).sum();
+        assert_eq!(sum, total);
+        // Shares are balanced.
+        let shares: Vec<u64> = (0..7).map(|t| cfg.share(total, t)).collect();
+        assert!(shares.iter().max().unwrap() - shares.iter().min().unwrap() <= 1);
+    }
+}

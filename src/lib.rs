@@ -1,0 +1,7 @@
+//! Integration-test and example host package for the CommTM workspace.
+//!
+//! The real library surface lives in the [`commtm`] crate; this package
+//! exists so that the workspace-level `tests/` and `examples/` directories
+//! can span every crate. It re-exports the public facade for convenience.
+
+pub use commtm::*;

@@ -1,0 +1,130 @@
+//! Workspace-level integration tests: every workload at small scale under
+//! both schemes, cross-checking the qualitative claims the paper's
+//! evaluation rests on.
+
+use commtm::Scheme;
+use commtm_workloads::apps::{boruvka, genome, kmeans, ssca2, vacation};
+use commtm_workloads::micro::{counter, list, oput, refcount, topk};
+use commtm_workloads::BaseCfg;
+
+fn both_schemes() -> [Scheme; 2] {
+    [Scheme::Baseline, Scheme::CommTm]
+}
+
+#[test]
+fn every_microbenchmark_verifies_under_both_schemes() {
+    for scheme in both_schemes() {
+        let base = BaseCfg::new(4, scheme);
+        counter::run(&counter::Cfg::new(base, 200));
+        oput::run(&oput::Cfg::new(base, 200));
+        topk::run(&topk::Cfg::new(base, 200, 16));
+        list::run(&list::Cfg::new(base, 200, list::Mix::Mixed));
+        let variant = match scheme {
+            Scheme::Baseline => refcount::Variant::Baseline,
+            Scheme::CommTm => refcount::Variant::Gather,
+        };
+        refcount::run(&refcount::Cfg::new(base, variant, 200));
+    }
+}
+
+#[test]
+fn every_application_verifies_under_both_schemes() {
+    for scheme in both_schemes() {
+        let base = BaseCfg::new(4, scheme);
+        let mut b = boruvka::Cfg::new(base);
+        b.side = 6;
+        boruvka::run(&b);
+        let mut k = kmeans::Cfg::new(base);
+        k.n = 64;
+        k.iters = 2;
+        kmeans::run(&k);
+        let mut s = ssca2::Cfg::new(base);
+        s.nodes = 128;
+        s.edges = 256;
+        ssca2::run(&s);
+        let mut g = genome::Cfg::new(base);
+        g.segments = 150;
+        g.unique = 24;
+        genome::run(&g);
+        let mut v = vacation::Cfg::new(base);
+        v.tasks = 150;
+        vacation::run(&v);
+    }
+}
+
+#[test]
+fn commtm_beats_baseline_on_update_heavy_microbenchmarks() {
+    // The paper's headline: commutative-update-heavy workloads serialize
+    // under the baseline and scale under CommTM.
+    let t = 16;
+    let ops = 1200;
+
+    let base = counter::run(&counter::Cfg::new(BaseCfg::new(t, Scheme::Baseline), ops));
+    let comm = counter::run(&counter::Cfg::new(BaseCfg::new(t, Scheme::CommTm), ops));
+    assert!(comm.total_cycles * 4 < base.total_cycles, "counter: expected >4x gain");
+    assert_eq!(comm.aborts(), 0, "counter: CommTM must not abort");
+
+    let base = topk::run(&topk::Cfg::new(BaseCfg::new(t, Scheme::Baseline), ops, 32));
+    let comm = topk::run(&topk::Cfg::new(BaseCfg::new(t, Scheme::CommTm), ops, 32));
+    assert!(comm.total_cycles < base.total_cycles, "top-K: CommTM must win");
+}
+
+#[test]
+fn gather_requests_restore_refcount_scalability() {
+    let t = 16;
+    let ops = 1600;
+    let no_gather = refcount::run(&refcount::Cfg::new(
+        BaseCfg::new(t, Scheme::CommTm),
+        refcount::Variant::NoGather,
+        ops,
+    ));
+    let gather = refcount::run(&refcount::Cfg::new(
+        BaseCfg::new(t, Scheme::CommTm),
+        refcount::Variant::Gather,
+        ops,
+    ));
+    assert!(
+        gather.total_cycles < no_gather.total_cycles,
+        "gathers must beat reduction-only bounded counters ({} vs {})",
+        gather.total_cycles,
+        no_gather.total_cycles
+    );
+    assert!(gather.core_totals().gather_ops > 0);
+}
+
+#[test]
+fn labeled_operations_are_a_small_fraction_in_apps() {
+    // Sec. VII: labeled instructions are rare (0.13% boruvka .. 1.2%
+    // kmeans) yet their impact is large.
+    let mut cfg = kmeans::Cfg::new(BaseCfg::new(8, Scheme::CommTm));
+    cfg.n = 96;
+    cfg.iters = 2;
+    let r = kmeans::run(&cfg);
+    let frac = r.labeled_fraction();
+    assert!(frac > 0.0 && frac < 0.5, "labeled fraction {frac} out of range");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let cfg = counter::Cfg::new(BaseCfg::new(8, Scheme::CommTm), 400);
+    let a = counter::run(&cfg);
+    let b = counter::run(&cfg);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.commits(), b.commits());
+    assert_eq!(a.proto_totals().getu, b.proto_totals().getu);
+}
+
+#[test]
+fn wasted_cycles_follow_fig18_taxonomy() {
+    let base = counter::run(&counter::Cfg::new(BaseCfg::new(8, Scheme::Baseline), 800));
+    let wasted = base.wasted_breakdown();
+    let total: u64 = wasted.iter().map(|(_, v)| v).sum();
+    assert!(total > 0, "contended baseline counter must waste cycles");
+    // The counter's conflicts are read-after-write and write-after-read
+    // dependency violations, as in the paper's Fig. 18.
+    let raw_war = wasted[0].1 + wasted[1].1;
+    assert!(
+        raw_war * 10 >= total * 9,
+        "counter waste should be dominated by RaW/WaR ({raw_war}/{total})"
+    );
+}
