@@ -1,38 +1,10 @@
-//! Fig. 9 — speedup of the counter microbenchmark (1–128 threads).
-
-use commtm::Scheme;
-use commtm_bench::*;
-use commtm_workloads::micro::counter;
-
-fn run_point(threads: usize, scheme: Scheme, incs: u64) -> f64 {
-    mean_cycles(|b| counter::run(&counter::Cfg::new(b, incs)), base(threads, scheme)).0
-}
+//! Fig. 9 — counter speedups.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig09" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig09` instead.
 
 fn main() {
-    let incs = 20_000 * scale();
-    header(
-        "Fig. 9",
-        "counter increments",
-        "CommTM scales linearly; the conventional HTM serializes all transactions",
-    );
-    let serial = run_point(1, Scheme::Baseline, incs);
-    let mut baseline = Vec::new();
-    let mut commtm = Vec::new();
-    for &t in &threads_list() {
-        baseline.push((t, run_point(t, Scheme::Baseline, incs)));
-        commtm.push((t, run_point(t, Scheme::CommTm, incs)));
-    }
-    let series = [
-        Series { name: "CommTM", points: speedups(serial, &commtm) },
-        Series { name: "Baseline", points: speedups(serial, &baseline) },
-    ];
-    print_series(&series);
-    let max_t = *threads_list().iter().max().unwrap();
-    let c = series[0].points.iter().find(|p| p.0 == max_t).unwrap().1;
-    let b = series[1].points.iter().find(|p| p.0 == max_t).unwrap().1;
-    shape_check(
-        "CommTM near-linear, baseline serialized",
-        c > 0.5 * max_t as f64 && b < 2.0,
-        format!("commtm {c:.1}x vs baseline {b:.1}x at {max_t} threads"),
-    );
+    commtm_lab::figure_main("fig09");
 }

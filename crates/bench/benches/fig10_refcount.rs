@@ -1,44 +1,10 @@
-//! Fig. 10 — speedup of reference counting: baseline vs CommTM with and
-//! without gather requests.
-
-use commtm_bench::*;
-use commtm_workloads::micro::refcount::{self, Variant};
-
-fn run_point(threads: usize, variant: Variant, ops: u64) -> f64 {
-    let scheme = match variant {
-        Variant::Baseline => commtm::Scheme::Baseline,
-        _ => commtm::Scheme::CommTm,
-    };
-    mean_cycles(|b| refcount::run(&refcount::Cfg::new(b, variant, ops)), base(threads, scheme)).0
-}
+//! Fig. 10 — reference-counting speedups.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig10" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig10` instead.
 
 fn main() {
-    let ops = 8_000 * scale();
-    header(
-        "Fig. 10",
-        "reference counting (bounded non-negative counters)",
-        "w/o gather: some speedup then serialization from reductions; \
-         w/ gather: scales to 39x at 128 threads",
-    );
-    let serial = run_point(1, Variant::Baseline, ops);
-    let mut series = Vec::new();
-    for (name, v) in [
-        ("CommTM w/ gather", Variant::Gather),
-        ("CommTM w/o gather", Variant::NoGather),
-        ("Baseline", Variant::Baseline),
-    ] {
-        let pts: Vec<(usize, f64)> =
-            threads_list().iter().map(|&t| (t, run_point(t, v, ops))).collect();
-        series.push(Series { name, points: speedups(serial, &pts) });
-    }
-    print_series(&series);
-    let max_t = *threads_list().iter().max().unwrap();
-    let g = series[0].points.last().unwrap().1;
-    let ng = series[1].points.last().unwrap().1;
-    let b = series[2].points.last().unwrap().1;
-    shape_check(
-        "gather > no-gather > baseline at max threads",
-        g > ng && ng >= b * 0.5,
-        format!("{g:.1}x vs {ng:.1}x vs {b:.1}x at {max_t} threads"),
-    );
+    commtm_lab::figure_main("fig10");
 }

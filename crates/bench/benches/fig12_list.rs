@@ -1,45 +1,10 @@
-//! Fig. 12 — speedup of linked-list enqueues/dequeues: (a) 100% enqueues,
-//! (b) 50/50 mix.
-
-use commtm::Scheme;
-use commtm_bench::*;
-use commtm_workloads::micro::list::{self, Mix};
-
-fn run_point(threads: usize, scheme: Scheme, ops: u64, mix: Mix) -> f64 {
-    // The mixed panel warm-starts the list (the paper's 10M-op run keeps it
-    // thousands deep; see list::Cfg::warm_start).
-    let warm = if mix == Mix::Mixed { 48 * threads as u64 } else { 0 };
-    mean_cycles(
-        |b| list::run(&list::Cfg::new(b, ops, mix).with_warm_start(warm)),
-        base(threads, scheme),
-    )
-    .0
-}
+//! Fig. 12 — linked-list speedups.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig12" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig12` instead.
 
 fn main() {
-    let ops = 8_000 * scale();
-    for (panel, mix, claim) in [
-        ("Fig. 12a", Mix::EnqueueOnly, "CommTM scales near-linearly on enqueues"),
-        ("Fig. 12b", Mix::Mixed, "CommTM reaches ~55x at 128 threads (limited by gathers)"),
-    ] {
-        header(panel, "linked list", claim);
-        let serial = run_point(1, Scheme::Baseline, ops, mix);
-        let mut baseline = Vec::new();
-        let mut commtm = Vec::new();
-        for &t in &threads_list() {
-            baseline.push((t, run_point(t, Scheme::Baseline, ops, mix)));
-            commtm.push((t, run_point(t, Scheme::CommTm, ops, mix)));
-        }
-        let series = [
-            Series { name: "CommTM", points: speedups(serial, &commtm) },
-            Series { name: "Baseline", points: speedups(serial, &baseline) },
-        ];
-        print_series(&series);
-        // At scaled-down op counts the mixed panel becomes gather-bound at
-        // very high thread counts (see EXPERIMENTS.md); the paper-shape
-        // check uses the best point, which is how Fig. 12b's 55x peak reads.
-        let c = series[0].points.iter().map(|p| p.1).fold(0.0f64, f64::max);
-        let b = series[1].points.iter().map(|p| p.1).fold(0.0f64, f64::max);
-        shape_check("CommTM peak beats baseline peak", c > b, format!("{c:.1}x vs {b:.1}x"));
-    }
+    commtm_lab::figure_main("fig12");
 }

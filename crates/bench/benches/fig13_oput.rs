@@ -1,38 +1,10 @@
-//! Fig. 13 — speedup of ordered puts (priority updates).
-
-use commtm::Scheme;
-use commtm_bench::*;
-use commtm_workloads::micro::oput;
-
-fn run_point(threads: usize, scheme: Scheme, puts: u64) -> f64 {
-    mean_cycles(|b| oput::run(&oput::Cfg::new(b, puts)), base(threads, scheme)).0
-}
+//! Fig. 13 — ordered-put speedups.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig13" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig13` instead.
 
 fn main() {
-    let puts = 20_000 * scale();
-    header(
-        "Fig. 13",
-        "ordered puts",
-        "CommTM scales near-linearly; the baseline also scales (to ~31x) because \
-         only smaller keys cause conflicting writes — CommTM ends ~3.8x ahead",
-    );
-    let serial = run_point(1, Scheme::Baseline, puts);
-    let mut baseline = Vec::new();
-    let mut commtm = Vec::new();
-    for &t in &threads_list() {
-        baseline.push((t, run_point(t, Scheme::Baseline, puts)));
-        commtm.push((t, run_point(t, Scheme::CommTm, puts)));
-    }
-    let series = [
-        Series { name: "CommTM", points: speedups(serial, &commtm) },
-        Series { name: "Baseline", points: speedups(serial, &baseline) },
-    ];
-    print_series(&series);
-    let c = series[0].points.last().unwrap().1;
-    let b = series[1].points.last().unwrap().1;
-    shape_check(
-        "both scale, CommTM ahead",
-        c > b && b > 1.0,
-        format!("{c:.1}x vs {b:.1}x"),
-    );
+    commtm_lab::figure_main("fig13");
 }

@@ -1,35 +1,10 @@
-//! Fig. 14 — speedup of top-K set insertions.
-
-use commtm::Scheme;
-use commtm_bench::*;
-use commtm_workloads::micro::topk;
-
-fn run_point(threads: usize, scheme: Scheme, inserts: u64, k: u64) -> f64 {
-    mean_cycles(|b| topk::run(&topk::Cfg::new(b, inserts, k)), base(threads, scheme)).0
-}
+//! Fig. 14 — top-K speedups.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig14" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig14` instead.
 
 fn main() {
-    let inserts = 8_000 * scale();
-    let k = 100;
-    header(
-        "Fig. 14",
-        &format!("top-K set insertion (K={k}; paper uses K=1000)"),
-        "CommTM scales linearly to 124x; the baseline serializes on heap and \
-         descriptor read-write dependencies",
-    );
-    let serial = run_point(1, Scheme::Baseline, inserts, k);
-    let mut baseline = Vec::new();
-    let mut commtm = Vec::new();
-    for &t in &threads_list() {
-        baseline.push((t, run_point(t, Scheme::Baseline, inserts, k)));
-        commtm.push((t, run_point(t, Scheme::CommTm, inserts, k)));
-    }
-    let series = [
-        Series { name: "CommTM", points: speedups(serial, &commtm) },
-        Series { name: "Baseline", points: speedups(serial, &baseline) },
-    ];
-    print_series(&series);
-    let c = series[0].points.last().unwrap().1;
-    let b = series[1].points.last().unwrap().1;
-    shape_check("CommTM >> baseline", c > 2.0 * b, format!("{c:.1}x vs {b:.1}x"));
+    commtm_lab::figure_main("fig14");
 }

@@ -1,39 +1,10 @@
-//! Fig. 16 — per-application speedups of CommTM and the baseline HTM.
-
-#[path = "apps_common.rs"]
-mod apps_common;
-
-use apps_common::{run_app, APPS};
-use commtm::Scheme;
-use commtm_bench::*;
+//! Fig. 16 — full-application speedups.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig16" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig16` instead.
 
 fn main() {
-    header(
-        "Fig. 16",
-        "full-application speedups",
-        "CommTM always outperforms the baseline: +35% boruvka, 3.4x kmeans, \
-         +0.2% ssca2, 3.0x genome, +45% vacation at 128 threads",
-    );
-    for app in APPS {
-        println!("--- {app}");
-        let serial = run_app(app, 1, Scheme::Baseline).total_cycles as f64;
-        let mut baseline = Vec::new();
-        let mut commtm = Vec::new();
-        for &t in &threads_list() {
-            baseline.push((t, run_app(app, t, Scheme::Baseline).total_cycles as f64));
-            commtm.push((t, run_app(app, t, Scheme::CommTm).total_cycles as f64));
-        }
-        let series = [
-            Series { name: "CommTM", points: speedups(serial, &commtm) },
-            Series { name: "Baseline", points: speedups(serial, &baseline) },
-        ];
-        print_series(&series);
-        let c = series[0].points.last().unwrap().1;
-        let b = series[1].points.last().unwrap().1;
-        shape_check(
-            &format!("{app}: CommTM >= baseline"),
-            c >= 0.95 * b,
-            format!("{c:.2}x vs {b:.2}x"),
-        );
-    }
+    commtm_lab::figure_main("fig16");
 }

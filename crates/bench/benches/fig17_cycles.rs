@@ -1,48 +1,10 @@
-//! Fig. 17 — breakdown of core cycles (non-transactional / committed /
-//! aborted) for both schemes at 8, 32, 128 threads.
-
-#[path = "apps_common.rs"]
-mod apps_common;
-
-use apps_common::{run_app, APPS};
-use commtm::Scheme;
-use commtm_bench::*;
+//! Fig. 17 — core-cycle breakdowns.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig17" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig17` instead.
 
 fn main() {
-    header(
-        "Fig. 17",
-        "core-cycle breakdowns (normalized to baseline@8 per app)",
-        "CommTM substantially reduces wasted (aborted) cycles: 25x on kmeans, \
-         8.3x on genome, 2.6x on vacation; eliminates them on boruvka",
-    );
-    let threads = [8usize, 32, 128];
-    println!(
-        "{:>10} {:>8} {:>9} | {:>12} {:>12} {:>12} | total",
-        "app", "threads", "scheme", "nontx", "committed", "aborted"
-    );
-    for app in APPS {
-        let norm = run_app(app, 8, Scheme::Baseline).cycle_breakdown().total() as f64;
-        for &t in &threads {
-            for scheme in [Scheme::Baseline, Scheme::CommTm] {
-                let b = run_app(app, t, scheme).cycle_breakdown();
-                println!(
-                    "{:>10} {:>8} {:>9} | {:>12.3} {:>12.3} {:>12.3} | {:.3}",
-                    app,
-                    t,
-                    format!("{scheme:?}"),
-                    b.nontx as f64 / norm,
-                    b.committed as f64 / norm,
-                    b.aborted as f64 / norm,
-                    b.total() as f64 / norm,
-                );
-            }
-        }
-        let base = run_app(app, *threads.last().unwrap(), Scheme::Baseline).cycle_breakdown();
-        let comm = run_app(app, *threads.last().unwrap(), Scheme::CommTm).cycle_breakdown();
-        shape_check(
-            &format!("{app}: CommTM wastes fewer cycles"),
-            comm.aborted <= base.aborted,
-            format!("{} vs {} aborted cycles", comm.aborted, base.aborted),
-        );
-    }
+    commtm_lab::figure_main("fig17");
 }

@@ -1,43 +1,10 @@
-//! Fig. 18 — breakdown of wasted cycles by dependency type.
-
-#[path = "apps_common.rs"]
-mod apps_common;
-
-use apps_common::{run_app, APPS};
-use commtm::Scheme;
-use commtm_bench::*;
+//! Fig. 18 — wasted-cycle breakdowns.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig18" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig18` instead.
 
 fn main() {
-    header(
-        "Fig. 18",
-        "wasted-cycle breakdowns (normalized to baseline@8 total per app)",
-        "baseline waste is almost all read-after-write violations; CommTM \
-         avoids the superfluous ones entirely on boruvka and kmeans",
-    );
-    let threads = [8usize, 32, 128];
-    println!(
-        "{:>10} {:>8} {:>9} | {:>10} {:>10} {:>10} {:>10}",
-        "app", "threads", "scheme", "RaW", "WaR", "Gather", "Others"
-    );
-    for app in APPS {
-        let norm = {
-            let w = run_app(app, 8, Scheme::Baseline).wasted_breakdown();
-            (w.iter().map(|(_, v)| v).sum::<u64>() as f64).max(1.0)
-        };
-        for &t in &threads {
-            for scheme in [Scheme::Baseline, Scheme::CommTm] {
-                let w = run_app(app, t, scheme).wasted_breakdown();
-                println!(
-                    "{:>10} {:>8} {:>9} | {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-                    app,
-                    t,
-                    format!("{scheme:?}"),
-                    w[0].1 as f64 / norm,
-                    w[1].1 as f64 / norm,
-                    w[2].1 as f64 / norm,
-                    w[3].1 as f64 / norm,
-                );
-            }
-        }
-    }
+    commtm_lab::figure_main("fig18");
 }

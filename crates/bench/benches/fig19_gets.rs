@@ -1,51 +1,10 @@
-//! Fig. 19 — breakdown of GET requests between the private L2s and the L3
-//! (GETS / GETX / GETU) for boruvka and kmeans.
-
-#[path = "apps_common.rs"]
-mod apps_common;
-
-use apps_common::run_app;
-use commtm::Scheme;
-use commtm_bench::*;
+//! Fig. 19 — GET-request breakdowns.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "fig19" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run fig19` instead.
 
 fn main() {
-    header(
-        "Fig. 19",
-        "L2<->L3 GET request breakdowns (normalized to baseline per point)",
-        "CommTM reduces L3 GETs by 13% on boruvka and 45% on kmeans at 128 \
-         threads (labeled updates coalesce in private caches)",
-    );
-    let threads = [8usize, 32, 128];
-    println!(
-        "{:>10} {:>8} {:>9} | {:>10} {:>10} {:>10} | total(norm)",
-        "app", "threads", "scheme", "GETS", "GETX", "GETU"
-    );
-    for app in ["boruvka", "kmeans"] {
-        for &t in &threads {
-            let norm = {
-                let p = run_app(app, t, Scheme::Baseline).proto_totals();
-                (p.total_gets() as f64).max(1.0)
-            };
-            for scheme in [Scheme::Baseline, Scheme::CommTm] {
-                let p = run_app(app, t, scheme).proto_totals();
-                println!(
-                    "{:>10} {:>8} {:>9} | {:>10.3} {:>10.3} {:>10.3} | {:.3}",
-                    app,
-                    t,
-                    format!("{scheme:?}"),
-                    p.gets as f64 / norm,
-                    p.getx as f64 / norm,
-                    p.getu as f64 / norm,
-                    p.total_gets() as f64 / norm,
-                );
-            }
-        }
-        let base = run_app(app, 128, Scheme::Baseline).proto_totals().total_gets();
-        let comm = run_app(app, 128, Scheme::CommTm).proto_totals().total_gets();
-        shape_check(
-            &format!("{app}: CommTM issues fewer GETs at 128 threads"),
-            comm <= base,
-            format!("{comm} vs {base}"),
-        );
-    }
+    commtm_lab::figure_main("fig19");
 }

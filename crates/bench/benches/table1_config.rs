@@ -6,7 +6,10 @@ fn main() {
     let c = ProtoConfig::paper();
     let mesh = Mesh::paper();
     println!("=== Table I: configuration of the simulated system");
-    println!("Cores      {} cores, IPC-1 except on L1 misses (simulated)", c.cores);
+    println!(
+        "Cores      {} cores, IPC-1 except on L1 misses (simulated)",
+        c.cores
+    );
     println!(
         "L1 caches  {}KB, private per-core, {}-way set-associative",
         c.l1.size_bytes() / 1024,
@@ -27,7 +30,10 @@ fn main() {
         c.l3_latency
     );
     println!("Coherence  MESI/CommTM, 64B lines, no silent drops");
-    println!("NoC        {}-tile mesh, 2-cycle routers, 1-cycle links", mesh.tiles());
+    println!(
+        "NoC        {}-tile mesh, 2-cycle routers, 1-cycle links",
+        mesh.tiles()
+    );
     println!("Main mem   {}-cycle latency", c.mem_latency);
     assert_eq!(c.cores, 128);
     assert_eq!(c.l3_bank.size_bytes() * c.l3_banks, 64 * 1024 * 1024);

@@ -1,51 +1,10 @@
-//! Table II — benchmark characteristics: inputs, gather usage, commutative
-//! operations, plus the measured labeled-instruction fractions the paper
-//! reports in Sec. VII.
-
-#[path = "apps_common.rs"]
-mod apps_common;
-
-use apps_common::{run_app, APPS};
-use commtm::Scheme;
+//! Table II — benchmark characteristics.
+//!
+//! Thin wrapper: the sweep grid, parallel execution and rendering live in
+//! the `commtm-lab` crate's "table2" scenario. Honors `COMMTM_THREADS`,
+//! `COMMTM_SCALE`, `COMMTM_SEEDS` and `COMMTM_JOBS`; for result files
+//! and baseline diffing use `commtm-lab run table2` instead.
 
 fn main() {
-    println!("=== Table II: benchmark characteristics (plus measured labeled fractions)");
-    let rows = [
-        ("boruvka", "synthetic road grid (subst. usroads)", false,
-         "min-edge OPUT; component MIN; edge-mark MAX; weight ADD"),
-        ("kmeans", "blob points (subst. random-nXXXX-dD-cK)", false,
-         "centroid FP ADD; count ADD"),
-        ("ssca2", "synthetic scale-free edges (-s scaled)", false,
-         "global edge counter ADD"),
-        ("genome", "random segments (-g -s -n scaled)", true,
-         "hash-table remaining-space bounded ADD"),
-        ("vacation", "relations + client mix (-n4 -q60 -u90 scaled)", true,
-         "reservation-table remaining-space bounded ADD"),
-    ];
-    println!(
-        "{:>10} | {:>42} | {:>7} | {}",
-        "app", "input (substitution per DESIGN.md)", "gather?", "commutative ops"
-    );
-    for (app, input, gather, ops) in rows {
-        println!("{app:>10} | {input:>42} | {gather:>7} | {ops}");
-    }
-    println!();
-    println!("measured at 32 threads under CommTM (paper reports 128-thread fractions):");
-    println!("{:>10} {:>16} {:>14} {:>12}", "app", "labeled-frac", "gather-ops", "commits");
-    for app in APPS {
-        let r = run_app(app, 32, Scheme::CommTm);
-        let t = r.core_totals();
-        println!(
-            "{:>10} {:>15.4}% {:>14} {:>12}",
-            app,
-            100.0 * r.labeled_fraction(),
-            t.gather_ops,
-            t.commits
-        );
-        assert!(
-            r.labeled_fraction() < 0.5,
-            "labeled operations must be a minority of memory operations"
-        );
-    }
-    println!("table-check PASS: labeled operations are rare, as in the paper");
+    commtm_lab::figure_main("table2");
 }

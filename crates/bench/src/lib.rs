@@ -1,105 +1,22 @@
-//! Shared harness code for the figure/table benchmarks.
+//! Figure/table bench targets for the CommTM evaluation.
 //!
 //! Each `benches/figNN_*.rs` target regenerates one table or figure from
-//! the paper's evaluation (see DESIGN.md §4 for the index): it sweeps
-//! thread counts, runs the workload under both schemes, prints the same
-//! rows/series the paper reports, and checks the qualitative *shape*
-//! claims (who wins, roughly by how much).
+//! the paper's evaluation. The sweep grids, the parallel executor, the
+//! result files and the figure-style rendering all live in the
+//! [`commtm_lab`] crate — the targets here are thin wrappers over its
+//! built-in scenarios, kept so `cargo bench --bench fig09_counter` keeps
+//! working.
 //!
-//! Environment knobs:
+//! Environment knobs (see [`commtm_lab::apply_env`]):
 //!
 //! - `COMMTM_THREADS` — comma-separated thread counts
 //!   (default `1,8,32,64,128`; the paper sweeps 1–128),
 //! - `COMMTM_SCALE` — multiplies workload sizes (default 1; the paper's
 //!   full 10M-operation runs correspond to roughly `COMMTM_SCALE=500`),
-//! - `COMMTM_SEEDS` — number of seeds averaged per point (default 1).
+//! - `COMMTM_SEEDS` — number of seeds averaged per point (default 1),
+//! - `COMMTM_JOBS` — executor worker threads (default: one per core).
+//!
+//! For machine-readable output and baseline diffing, run the scenarios
+//! through the CLI instead: `commtm-lab run fig09 --out fig09.json`.
 
-use commtm::{RunReport, Scheme};
-use commtm_workloads::BaseCfg;
-
-/// Thread counts to sweep (env `COMMTM_THREADS`).
-pub fn threads_list() -> Vec<usize> {
-    match std::env::var("COMMTM_THREADS") {
-        Ok(s) => s
-            .split(',')
-            .map(|x| x.trim().parse().expect("COMMTM_THREADS entries must be integers"))
-            .collect(),
-        Err(_) => vec![1, 8, 32, 64, 128],
-    }
-}
-
-/// Workload scale factor (env `COMMTM_SCALE`).
-pub fn scale() -> u64 {
-    std::env::var("COMMTM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
-
-/// Seeds averaged per data point (env `COMMTM_SEEDS`).
-pub fn seeds() -> u64 {
-    std::env::var("COMMTM_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
-
-/// Runs `f` over `seeds()` seeds and returns the mean simulated makespan
-/// plus the last report (for non-timing statistics).
-pub fn mean_cycles(mut f: impl FnMut(BaseCfg) -> RunReport, base: BaseCfg) -> (f64, RunReport) {
-    let n = seeds();
-    let mut total = 0f64;
-    let mut last = None;
-    for s in 0..n {
-        let r = f(base.with_seed(base.seed.wrapping_add(s * 0x9E37)));
-        total += r.total_cycles as f64;
-        last = Some(r);
-    }
-    (total / n as f64, last.expect("at least one seed"))
-}
-
-/// A speedup series for one scheme.
-#[derive(Debug)]
-pub struct Series {
-    /// Label printed in the table.
-    pub name: &'static str,
-    /// (threads, speedup) points.
-    pub points: Vec<(usize, f64)>,
-}
-
-/// Prints a figure header in a uniform style.
-pub fn header(fig: &str, title: &str, paper_claim: &str) {
-    println!("=== {fig}: {title}");
-    println!("    paper: {paper_claim}");
-    println!("    (threads {:?}, scale {}, seeds {})", threads_list(), scale(), seeds());
-}
-
-/// Prints speedup series as aligned columns.
-pub fn print_series(series: &[Series]) {
-    print!("{:>8}", "threads");
-    for s in series {
-        print!("{:>18}", s.name);
-    }
-    println!();
-    let n = series[0].points.len();
-    for i in 0..n {
-        print!("{:>8}", series[0].points[i].0);
-        for s in series {
-            print!("{:>18.2}", s.points[i].1);
-        }
-        println!();
-    }
-}
-
-/// Computes speedups relative to a serial-baseline cycle count.
-pub fn speedups(serial_cycles: f64, runs: &[(usize, f64)]) -> Vec<(usize, f64)> {
-    runs.iter().map(|&(t, c)| (t, serial_cycles / c)).collect()
-}
-
-/// Emits a PASS/NOTE line for a qualitative shape check.
-pub fn shape_check(name: &str, ok: bool, detail: String) {
-    if ok {
-        println!("    shape-check PASS: {name} ({detail})");
-    } else {
-        println!("    shape-check NOTE: {name} NOT met at this scale ({detail})");
-    }
-}
-
-/// Convenience: base config for a sweep point.
-pub fn base(threads: usize, scheme: Scheme) -> BaseCfg {
-    BaseCfg::new(threads, scheme)
-}
+pub use commtm_lab::{apply_env, figure_main};

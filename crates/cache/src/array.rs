@@ -64,7 +64,11 @@ impl<M> CacheArray<M> {
     pub fn new(geom: CacheGeometry) -> Self {
         let mut slots = Vec::new();
         slots.resize_with(geom.lines(), || None);
-        CacheArray { geom, slots, tick: 0 }
+        CacheArray {
+            geom,
+            slots,
+            tick: 0,
+        }
     }
 
     /// The array's geometry.
@@ -74,7 +78,10 @@ impl<M> CacheArray<M> {
 
     /// Looks up a line without updating recency.
     pub fn peek(&self, line: LineAddr) -> Option<&Entry<M>> {
-        self.set_slots(line).iter().flatten().find(|e| e.tag == line)
+        self.set_slots(line)
+            .iter()
+            .flatten()
+            .find(|e| e.tag == line)
     }
 
     /// Looks up a line and marks it most-recently used.
@@ -82,14 +89,16 @@ impl<M> CacheArray<M> {
         self.tick += 1;
         let tick = self.tick;
         let (base, ways) = self.set_range(line);
-        self.slots[base..base + ways]
+        let entry = self.slots[base..base + ways]
             .iter_mut()
             .flatten()
-            .find(|e| e.tag == line)
-            .map(|e| {
-                e.lru = tick;
-                e
-            })
+            .find(|e| e.tag == line);
+        if let Some(e) = entry {
+            e.lru = tick;
+            Some(e)
+        } else {
+            None
+        }
     }
 
     /// Whether a line is resident.
@@ -143,7 +152,12 @@ impl<M> CacheArray<M> {
         }
         let way = victim_way.expect("eviction range is never empty");
         let victim = range[way].take();
-        range[way] = Some(Entry { tag: line, data, meta, lru: tick });
+        range[way] = Some(Entry {
+            tag: line,
+            data,
+            meta,
+            lru: tick,
+        });
         FillOutcome { victim }
     }
 
@@ -209,7 +223,10 @@ mod tests {
     fn fill_and_get() {
         let mut c: CacheArray<()> = CacheArray::new(CacheGeometry::new(4, 2));
         let a = LineAddr::new(1);
-        assert!(c.fill(a, LineData::splat(9), (), EvictionClass::NonReducible).victim.is_none());
+        assert!(c
+            .fill(a, LineData::splat(9), (), EvictionClass::NonReducible)
+            .victim
+            .is_none());
         assert_eq!(c.get(a).unwrap().data, LineData::splat(9));
         assert!(c.contains(a));
         assert_eq!(c.len(), 1);
@@ -231,7 +248,12 @@ mod tests {
     fn handler_fills_use_reserved_way_only() {
         let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1, 4));
         for i in 0..4 {
-            c.fill(LineAddr::new(i), LineData::zeroed(), i as u32, EvictionClass::NonReducible);
+            c.fill(
+                LineAddr::new(i),
+                LineData::zeroed(),
+                i as u32,
+                EvictionClass::NonReducible,
+            );
         }
         let h = LineAddr::new(10);
         c.fill(h, LineData::zeroed(), 99, EvictionClass::Handler);
@@ -242,7 +264,12 @@ mod tests {
     fn reducible_fills_avoid_reserved_way() {
         let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1, 4));
         for i in 0..8 {
-            c.fill(LineAddr::new(i), LineData::zeroed(), 0, EvictionClass::Reducible);
+            c.fill(
+                LineAddr::new(i),
+                LineData::zeroed(),
+                0,
+                EvictionClass::Reducible,
+            );
             if i >= 4 {
                 // Set stays at 3 resident reducible lines + empty way 0.
                 assert_ne!(c.way_of(LineAddr::new(i)), Some(0));

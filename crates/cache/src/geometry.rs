@@ -30,10 +30,17 @@ impl CacheGeometry {
     pub fn from_size(size_bytes: usize, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be non-zero");
         let lines = size_bytes / LINE_BYTES as usize;
-        assert_eq!(lines * LINE_BYTES as usize, size_bytes, "size must be a whole number of lines");
+        assert_eq!(
+            lines * LINE_BYTES as usize,
+            size_bytes,
+            "size must be a whole number of lines"
+        );
         assert_eq!(lines % ways, 0, "size must be a whole number of ways");
         let sets = lines / ways;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         CacheGeometry { sets, ways }
     }
 
@@ -43,7 +50,10 @@ impl CacheGeometry {
     ///
     /// Panics unless `sets` is a power of two and both counts are non-zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "set count must be a power of two"
+        );
         assert!(ways > 0, "associativity must be non-zero");
         CacheGeometry { sets, ways }
     }

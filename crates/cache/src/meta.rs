@@ -71,7 +71,11 @@ pub struct PrivMeta {
 impl PrivMeta {
     /// A U-state entry with the given label.
     pub fn reducible(label: LabelId) -> Self {
-        PrivMeta { state: CohState::U, label: Some(label), dirty: false }
+        PrivMeta {
+            state: CohState::U,
+            label: Some(label),
+            dirty: false,
+        }
     }
 
     /// Whether the entry is in U with the given label.

@@ -31,12 +31,18 @@ impl MachineBuilder {
     /// Starts a builder for `threads` cores under `scheme`, with the
     /// paper's Table I hierarchy.
     pub fn new(threads: usize, scheme: Scheme) -> Self {
-        MachineBuilder { cfg: MachineConfig::new(threads, scheme), labels: LabelTable::new() }
+        MachineBuilder {
+            cfg: MachineConfig::new(threads, scheme),
+            labels: LabelTable::new(),
+        }
     }
 
     /// Starts a builder from an explicit configuration.
     pub fn with_config(cfg: MachineConfig) -> Self {
-        MachineBuilder { cfg, labels: LabelTable::new() }
+        MachineBuilder {
+            cfg,
+            labels: LabelTable::new(),
+        }
     }
 
     /// Overrides the deterministic seed.

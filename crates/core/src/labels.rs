@@ -256,7 +256,11 @@ mod tests {
         d2[1] = 0x300;
         (def.reduce())(&mut ops, &mut d1, &d2);
         assert_eq!((d1[0], d1[1]), (0x100, 0x300));
-        assert_eq!(ops.read(Addr::new(0x200)), 0x300, "tail stitched to donated head");
+        assert_eq!(
+            ops.read(Addr::new(0x200)),
+            0x300,
+            "tail stitched to donated head"
+        );
         // Empty merges are no-ops both ways.
         let empty = def.identity();
         let mut d3 = d1;

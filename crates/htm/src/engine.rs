@@ -5,7 +5,9 @@ use rand::{Rng, RngExt, SeedableRng};
 
 use commtm_mem::CoreId;
 use commtm_protocol::{AbortKind, MemOp, MemSystem, ProtoEvent, TxTable};
-use commtm_tx::{Block, BlockRunner, Ctl, CtlCtx, Env, MemPort, OpResult, Program, StepOutcome, TxOp};
+use commtm_tx::{
+    Block, BlockRunner, Ctl, CtlCtx, Env, MemPort, OpResult, Program, StepOutcome, TxOp,
+};
 
 use crate::stats::CoreStats;
 
@@ -15,7 +17,6 @@ fn trace_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ON.get_or_init(|| std::env::var("COMMTM_TRACE").is_ok())
 }
-
 
 /// Which conflict-detection scheme the machine runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,7 +49,13 @@ pub struct HtmConfig {
 impl HtmConfig {
     /// Defaults used throughout the evaluation.
     pub fn new(scheme: Scheme) -> Self {
-        HtmConfig { scheme, backoff_base: 16, backoff_cap: 8, regs: 32, tx_overhead: 20 }
+        HtmConfig {
+            scheme,
+            backoff_base: 16,
+            backoff_cap: 8,
+            regs: 32,
+            tx_overhead: 20,
+        }
     }
 }
 
@@ -193,7 +200,9 @@ impl CoreExec {
         const MAX_CHAIN: u64 = 1024;
         let mut n = 0;
         while n < MAX_CHAIN && !self.done {
-            let Block::Ctl(f) = self.program.block(self.block_idx) else { break };
+            let Block::Ctl(f) = self.program.block(self.block_idx) else {
+                break;
+            };
             let f = f.clone();
             n += 1;
             let rng = &mut self.rng;
@@ -206,7 +215,10 @@ impl CoreExec {
             match ctl {
                 Ctl::Next => self.advance_to(self.block_idx + 1),
                 Ctl::Jump(i) => {
-                    assert!(i < self.program.len(), "jump target {i} out of program bounds");
+                    assert!(
+                        i < self.program.len(),
+                        "jump target {i} out of program bounds"
+                    );
                     self.advance_to(i);
                 }
                 Ctl::Done => self.finish(),
@@ -272,7 +284,9 @@ impl CoreExec {
             StepOutcome::Yield { .. } => {}
             StepOutcome::Done { .. } => {
                 if is_tx {
-                    if trace_enabled() { eprintln!("[{:?}] COMMIT clock={}", self.core, self.clock); }
+                    if trace_enabled() {
+                        eprintln!("[{:?}] COMMIT clock={}", self.core, self.clock);
+                    }
                     sys.commit_core(self.core);
                     txs.end(self.core);
                     self.in_tx = false;
@@ -296,7 +310,12 @@ impl CoreExec {
     /// Backoff-and-restart after an abort (the protocol already rolled the
     /// transaction back).
     fn handle_abort(&mut self, cause: AbortKind, cfg: &HtmConfig) {
-        if trace_enabled() { eprintln!("[{:?}] ABORT cause={:?} clock={}", self.core, cause, self.clock); }
+        if trace_enabled() {
+            eprintln!(
+                "[{:?}] ABORT cause={:?} clock={}",
+                self.core, cause, self.clock
+            );
+        }
         self.runner.reset();
         self.env.regs = self.block_start_regs.clone();
         self.in_tx = false;
@@ -377,34 +396,71 @@ impl MemPort for EnginePort<'_> {
             }
             TxOp::LoadL(l, a) => {
                 self.stats.labeled_ops += 1;
-                (if self.demote { MemOp::Load } else { MemOp::LoadL(l) }, a)
+                (
+                    if self.demote {
+                        MemOp::Load
+                    } else {
+                        MemOp::LoadL(l)
+                    },
+                    a,
+                )
             }
             TxOp::StoreL(l, a, v) => {
                 self.stats.labeled_ops += 1;
-                (if self.demote { MemOp::Store(v) } else { MemOp::StoreL(l, v) }, a)
+                (
+                    if self.demote {
+                        MemOp::Store(v)
+                    } else {
+                        MemOp::StoreL(l, v)
+                    },
+                    a,
+                )
             }
             TxOp::Gather(l, a) => {
                 self.stats.labeled_ops += 1;
                 self.stats.gather_ops += 1;
-                (if self.demote { MemOp::Load } else { MemOp::Gather(l) }, a)
+                (
+                    if self.demote {
+                        MemOp::Load
+                    } else {
+                        MemOp::Gather(l)
+                    },
+                    a,
+                )
             }
         };
         if trace_enabled() {
-            eprintln!("    [pre ] [{:?}] {:?} @{:x} st={:?}", self.core, mem_op, addr.raw(), self.sys.debug_priv(self.core, addr.line()));
+            eprintln!(
+                "    [pre ] [{:?}] {:?} @{:x} st={:?}",
+                self.core,
+                mem_op,
+                addr.raw(),
+                self.sys.debug_priv(self.core, addr.line())
+            );
         }
         let acc = self.sys.access(self.core, mem_op, addr, self.txs);
         if trace_enabled() {
             eprintln!(
                 "[{:?}] op={:?} @{:x} -> v={} abort={:?} ev={:?} ts={:?} st={:?}",
-                self.core, mem_op, addr.raw(), acc.value, acc.self_abort, acc.events,
-                self.txs.active_ts(self.core), self.sys.debug_priv(self.core, addr.line())
+                self.core,
+                mem_op,
+                addr.raw(),
+                acc.value,
+                acc.self_abort,
+                acc.events,
+                self.txs.active_ts(self.core),
+                self.sys.debug_priv(self.core, addr.line())
             );
         }
         self.events.extend(acc.events);
         if let Some(k) = acc.self_abort {
             *self.abort_cause = Some(k);
         }
-        OpResult { value: acc.value, latency: acc.latency, aborted: acc.self_abort.is_some() }
+        OpResult {
+            value: acc.value,
+            latency: acc.latency,
+            aborted: acc.self_abort.is_some(),
+        }
     }
 
     fn rand(&mut self) -> u64 {

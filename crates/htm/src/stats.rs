@@ -47,7 +47,10 @@ impl CoreStats {
 
     /// Index of a bucket in the `*_by_bucket` arrays.
     pub fn bucket_index(bucket: WasteBucket) -> usize {
-        WasteBucket::ALL.iter().position(|b| *b == bucket).expect("bucket in ALL")
+        WasteBucket::ALL
+            .iter()
+            .position(|b| *b == bucket)
+            .expect("bucket in ALL")
     }
 
     /// Adds another core's counters into this one (aggregation).
@@ -83,8 +86,18 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let mut a = CoreStats { commits: 1, nontx_cycles: 10, finish_cycle: 5, ..Default::default() };
-        let b = CoreStats { commits: 2, nontx_cycles: 20, finish_cycle: 9, ..Default::default() };
+        let mut a = CoreStats {
+            commits: 1,
+            nontx_cycles: 10,
+            finish_cycle: 5,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            commits: 2,
+            nontx_cycles: 20,
+            finish_cycle: 9,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.commits, 3);
         assert_eq!(a.nontx_cycles, 30);

@@ -1,0 +1,271 @@
+//! The `commtm-lab` command-line interface.
+//!
+//! ```text
+//! commtm-lab list                      # built-in scenarios
+//! commtm-lab workloads                 # registered workloads and defaults
+//! commtm-lab run fig09 --threads-max 16 --out fig09.json
+//! commtm-lab run sweep.toml --jobs 8 --csv sweep.csv
+//! commtm-lab diff old.json new.json    # regression gate
+//! ```
+
+use std::process::ExitCode;
+
+use commtm_lab::exec::{run_scenario, ExecOptions};
+use commtm_lab::results::{diff, ResultSet};
+use commtm_lab::spec::{default_seeds, parse_scheme, scheme_name, Scenario};
+use commtm_lab::{registry, report, scenarios, toml};
+
+const USAGE: &str = "\
+commtm-lab — declarative, parallel experiment sweeps for the CommTM simulator
+
+USAGE:
+    commtm-lab list                         list built-in scenarios
+    commtm-lab workloads                    list registered workloads
+    commtm-lab run <scenario|file.toml> [options]
+    commtm-lab diff <baseline.json> <current.json> [--tol FRAC]
+
+RUN OPTIONS:
+    --threads LIST      comma-separated thread counts (e.g. 1,8,32)
+    --threads-max N     drop sweep points above N threads
+    --schemes LIST      comma-separated schemes (baseline,commtm)
+    --seeds N           run N seed replicas per point
+    --scale N           workload scale factor (paper scale ~ 500)
+    --jobs N            worker threads (default: one per core)
+    --serial            run cells serially (same numbers, one core)
+    --out FILE.json     write full results as JSON
+    --csv FILE.csv      write per-cell rows as CSV
+    --baseline F.json   diff against a previous JSON (exit 1 on change)
+    --tol FRAC          relative tolerance for --baseline/diff (default 0)
+    --progress          print per-cell progress to stderr
+    --quiet             suppress the figure-style report
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("built-in scenarios:");
+            for name in scenarios::builtin_names() {
+                let scn = scenarios::builtin(name).expect("listed scenario exists");
+                println!("  {name:<8} {} ({} cells)", scn.title, scn.cells().len());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("workloads") => {
+            println!("registered workloads (defaults shown at scale 1, 8 threads):");
+            for def in registry::WORKLOADS {
+                let defaults: Vec<String> = (def.defaults)(1, 8)
+                    .iter()
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect();
+                println!("  {:<10} {:?}: {}", def.name, def.kind, def.summary);
+                println!("  {:<10}   defaults: {}", "", defaults.join(", "));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("diff") => match cmd_diff(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut target: Option<&str> = None;
+    let mut opts = ExecOptions {
+        jobs: 0,
+        quiet: true,
+    };
+    let mut threads: Option<Vec<usize>> = None;
+    let mut threads_max: Option<usize> = None;
+    let mut schemes: Option<Vec<commtm::Scheme>> = None;
+    let mut seeds: Option<usize> = None;
+    let mut scale: Option<u64> = None;
+    let mut out_json: Option<String> = None;
+    let mut out_csv: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tol = 0.0f64;
+    let mut quiet_report = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                threads = Some(parse_usize_list(value("--threads")?)?);
+            }
+            "--threads-max" => {
+                threads_max = Some(
+                    value("--threads-max")?
+                        .parse()
+                        .map_err(|_| "bad --threads-max")?,
+                );
+            }
+            "--schemes" => {
+                schemes = Some(
+                    value("--schemes")?
+                        .split(',')
+                        .map(|s| parse_scheme(s.trim()))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--seeds" => {
+                seeds = Some(value("--seeds")?.parse().map_err(|_| "bad --seeds")?);
+            }
+            "--scale" => {
+                scale = Some(value("--scale")?.parse().map_err(|_| "bad --scale")?);
+            }
+            "--jobs" => {
+                opts.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
+            }
+            "--serial" => opts.jobs = 1,
+            "--out" => out_json = Some(value("--out")?.clone()),
+            "--csv" => out_csv = Some(value("--csv")?.clone()),
+            "--baseline" => baseline = Some(value("--baseline")?.clone()),
+            "--tol" => tol = value("--tol")?.parse().map_err(|_| "bad --tol")?,
+            "--progress" => opts.quiet = false,
+            "--quiet" => quiet_report = true,
+            other if !other.starts_with('-') && target.is_none() => {
+                target = Some(other);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+
+    let target = target.ok_or("run needs a scenario name or a .toml file")?;
+    let mut scenario = load_scenario(target)?;
+    if let Some(t) = threads {
+        scenario.threads = t;
+    }
+    if let Some(max) = threads_max {
+        scenario.cap_threads(max);
+    }
+    if let Some(s) = schemes {
+        for label in scenario.set_schemes(&s) {
+            eprintln!("note: dropping workload {label:?} (restricted to schemes not swept)");
+        }
+    }
+    if let Some(n) = seeds {
+        scenario.seeds = default_seeds(n.max(1));
+    }
+    if let Some(s) = scale {
+        scenario.scale = s;
+    }
+
+    let set = run_scenario(&scenario, &opts)?;
+
+    if !quiet_report {
+        print!("{}", report::render(&scenario, &set));
+    }
+    if let Some(path) = out_json {
+        std::fs::write(&path, set.to_json().pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = out_csv {
+        std::fs::write(&path, set.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    let mut code = if set.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    };
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let base = ResultSet::from_json_str(&text)?;
+        let d = diff(&base, &set, tol);
+        print!("{}", d.render());
+        if !d.is_clean() {
+            code = ExitCode::FAILURE;
+        }
+    }
+    Ok(code)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut tol = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                tol = it
+                    .next()
+                    .ok_or("--tol needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --tol")?;
+            }
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let [a, b] = paths.as_slice() else {
+        return Err("diff needs exactly two JSON files".to_string());
+    };
+    let base = ResultSet::from_json_str(
+        &std::fs::read_to_string(a).map_err(|e| format!("reading {a}: {e}"))?,
+    )?;
+    let cur = ResultSet::from_json_str(
+        &std::fs::read_to_string(b).map_err(|e| format!("reading {b}: {e}"))?,
+    )?;
+    let d = diff(&base, &cur, tol);
+    print!("{}", d.render());
+    println!(
+        "compared {} baseline cell(s) across schemes {:?}",
+        base.cells.len(),
+        base.cells
+            .iter()
+            .map(|c| scheme_name(c.cell.scheme))
+            .collect::<std::collections::BTreeSet<_>>()
+    );
+    Ok(if d.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn load_scenario(target: &str) -> Result<Scenario, String> {
+    if target.ends_with(".toml") {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        return toml::scenario_from_toml(&text);
+    }
+    scenarios::builtin(target).ok_or_else(|| {
+        format!(
+            "unknown scenario {target:?}; built-ins: {} (or pass a .toml file)",
+            scenarios::builtin_names().join(", ")
+        )
+    })
+}
+
+fn parse_usize_list(text: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|_| format!("bad thread count {x:?}"))
+        })
+        .collect()
+}

@@ -1,0 +1,107 @@
+//! **commtm-lab** — a declarative, parallel experiment harness for the
+//! CommTM simulator.
+//!
+//! The paper's evaluation is a grid of sweeps: threads × scheme ×
+//! workload × seeds. This crate turns that grid into data:
+//!
+//! - [`spec`]: declarative [`Scenario`]s — a builder API and a TOML
+//!   loader ([`toml`]) describing sweeps over `MachineConfig`
+//!   dimensions (threads, [`commtm::Scheme`], workload parameters,
+//!   seeds, and [`commtm::Tuning`] overrides),
+//! - [`registry`]: a name → program registry covering the paper's five
+//!   microbenchmarks and five applications,
+//! - [`exec`]: a parallel executor that fans independent
+//!   `sim::Machine` runs across host threads with deterministic
+//!   per-cell seeding — results are byte-identical to a serial run,
+//! - [`results`]: structured per-cell statistics with JSON/CSV export
+//!   and baseline diffing for regression gating,
+//! - [`scenarios`]: built-in definitions reproducing Figs. 9–19 and
+//!   Table II, and [`report`]: figure-style rendering with the
+//!   original harness's shape checks.
+//!
+//! # Example
+//!
+//! ```
+//! use commtm_lab::prelude::*;
+//!
+//! let scenario = Scenario::new("quick", "counter at tiny scale")
+//!     .workload(WorkloadSpec::named("counter").param("total_incs", 200))
+//!     .threads(&[1, 2]);
+//! let results = run_scenario(&scenario, &ExecOptions::default())?;
+//! assert!(results.all_ok());
+//! let json = results.to_json().pretty();
+//! assert!(json.contains("total_cycles"));
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! The `commtm-lab` binary exposes the same machinery on the command
+//! line: `commtm-lab run fig09 --threads-max 16 --out fig09.json`.
+
+pub mod exec;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod results;
+pub mod scenarios;
+pub mod spec;
+pub mod toml;
+
+pub use exec::{run_scenario, run_scenario_serial, ExecOptions};
+pub use results::{diff, CellResult, CellStats, DiffReport, ResultSet};
+pub use spec::{Cell, Params, ReportKind, Scenario, WorkloadSpec};
+
+/// The common imports for driving experiments.
+pub mod prelude {
+    pub use crate::exec::{run_scenario, run_scenario_serial, ExecOptions};
+    pub use crate::results::{diff, ResultSet};
+    pub use crate::scenarios::builtin;
+    pub use crate::spec::{ReportKind, Scenario, WorkloadSpec};
+}
+
+/// Environment knobs shared by the bench wrappers and the CLI, kept
+/// compatible with the original figure harness:
+///
+/// - `COMMTM_THREADS` — comma-separated thread counts,
+/// - `COMMTM_SCALE` — workload scale factor,
+/// - `COMMTM_SEEDS` — number of seed replicas per point,
+/// - `COMMTM_JOBS` — worker threads (0 = one per core).
+pub fn apply_env(scenario: &mut Scenario) -> ExecOptions {
+    if let Ok(s) = std::env::var("COMMTM_THREADS") {
+        scenario.threads = s
+            .split(',')
+            .map(|x| {
+                x.trim()
+                    .parse()
+                    .expect("COMMTM_THREADS entries must be integers")
+            })
+            .collect();
+    }
+    if let Ok(s) = std::env::var("COMMTM_SCALE") {
+        scenario.scale = s.parse().expect("COMMTM_SCALE must be an integer");
+    }
+    if let Ok(s) = std::env::var("COMMTM_SEEDS") {
+        let n: usize = s.parse().expect("COMMTM_SEEDS must be an integer");
+        scenario.seeds = spec::default_seeds(n.max(1));
+    }
+    let jobs = match std::env::var("COMMTM_JOBS") {
+        Ok(s) => s.parse().expect("COMMTM_JOBS must be an integer"),
+        Err(_) => 0,
+    };
+    ExecOptions { jobs, quiet: true }
+}
+
+/// Entry point for the thin per-figure bench wrappers: loads the named
+/// built-in scenario, applies the environment knobs, runs the sweep in
+/// parallel, and prints the figure-style report.
+///
+/// # Panics
+///
+/// Panics if `name` is not a built-in scenario or the sweep fails to
+/// validate — bench targets have no error channel.
+pub fn figure_main(name: &str) {
+    let mut scenario =
+        scenarios::builtin(name).unwrap_or_else(|| panic!("unknown built-in scenario {name:?}"));
+    let opts = apply_env(&mut scenario);
+    let set = run_scenario(&scenario, &opts).expect("scenario must validate");
+    print!("{}", report::render(&scenario, &set));
+}

@@ -1,0 +1,319 @@
+//! The workload registry: maps workload names to runnable programs.
+//!
+//! This is the single place that knows how to turn a name plus integer
+//! parameters into a [`RunReport`] — the figure scenarios, the TOML
+//! loader and the CLI all resolve workloads here. Defaults reproduce the
+//! sizes the original per-figure benchmarks used, scaled by the
+//! scenario's `scale` factor (`scale = 500` roughly corresponds to the
+//! paper's full 10M-operation runs).
+
+use commtm::{RunReport, Scheme};
+use commtm_workloads::apps::{boruvka, genome, kmeans, ssca2, vacation};
+use commtm_workloads::micro::{counter, list, oput, refcount, topk};
+use commtm_workloads::BaseCfg;
+
+use crate::spec::{Cell, Params};
+
+/// Micro vs. full application (the paper's Sec. VI vs. Sec. VII split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Sec. VI microbenchmark.
+    Micro,
+    /// Sec. VII application.
+    App,
+}
+
+/// One registered workload.
+pub struct WorkloadDef {
+    /// Registry name.
+    pub name: &'static str,
+    /// Micro or app.
+    pub kind: WorkloadKind,
+    /// One-line description (shown by `commtm-lab workloads`).
+    pub summary: &'static str,
+    /// Default parameters at a given scale and thread count.
+    pub defaults: fn(scale: u64, threads: usize) -> Params,
+    /// Runs the workload with fully-resolved parameters (see
+    /// [`resolved_params`] / [`run_cell`]). Panics if a parameter is
+    /// missing — the defaults table above is the single source of truth,
+    /// so runners never re-state default values.
+    pub run: fn(base: BaseCfg, params: &Params) -> RunReport,
+}
+
+/// Every registered workload: the paper's five microbenchmarks and five
+/// applications.
+pub static WORKLOADS: &[WorkloadDef] = &[
+    WorkloadDef {
+        name: "counter",
+        kind: WorkloadKind::Micro,
+        summary: "shared-counter increments (Fig. 9)",
+        defaults: |scale, _| [("total_incs", 20_000 * scale)].into_iter().collect(),
+        run: |base, p| counter::run(&counter::Cfg::new(base, p.req("total_incs"))),
+    },
+    WorkloadDef {
+        name: "refcount",
+        kind: WorkloadKind::Micro,
+        summary:
+            "bounded non-negative reference counters (Fig. 10); param gather=0 disables gathers",
+        defaults: |scale, _| {
+            [
+                ("total_ops", 8_000 * scale),
+                ("gather", 1),
+                ("objects", 16),
+                ("initial_refs", 3),
+                ("max_refs", 10),
+            ]
+            .into_iter()
+            .collect()
+        },
+        run: |base, p| {
+            let variant = match base.scheme {
+                Scheme::Baseline => refcount::Variant::Baseline,
+                Scheme::CommTm if p.req("gather") != 0 => refcount::Variant::Gather,
+                Scheme::CommTm => refcount::Variant::NoGather,
+            };
+            let mut cfg = refcount::Cfg::new(base, variant, p.req("total_ops"));
+            cfg.objects = p.req("objects") as usize;
+            cfg.initial_refs = p.req("initial_refs");
+            cfg.max_refs = p.req("max_refs");
+            refcount::run(&cfg)
+        },
+    },
+    WorkloadDef {
+        name: "list",
+        kind: WorkloadKind::Micro,
+        summary: "linked-list enqueues/dequeues (Fig. 12); params mixed=0/1, warm_start",
+        defaults: |scale, threads| {
+            [
+                ("total_ops", 8_000 * scale),
+                ("mixed", 1),
+                ("warm_start", 48 * threads as u64),
+            ]
+            .into_iter()
+            .collect()
+        },
+        run: |base, p| {
+            let mixed = p.req("mixed") != 0;
+            let mix = if mixed {
+                list::Mix::Mixed
+            } else {
+                list::Mix::EnqueueOnly
+            };
+            let warm = if mixed { p.req("warm_start") } else { 0 };
+            list::run(&list::Cfg::new(base, p.req("total_ops"), mix).with_warm_start(warm))
+        },
+    },
+    WorkloadDef {
+        name: "oput",
+        kind: WorkloadKind::Micro,
+        summary: "ordered puts / priority updates (Fig. 13)",
+        defaults: |scale, _| [("total_puts", 20_000 * scale)].into_iter().collect(),
+        run: |base, p| oput::run(&oput::Cfg::new(base, p.req("total_puts"))),
+    },
+    WorkloadDef {
+        name: "topk",
+        kind: WorkloadKind::Micro,
+        summary: "top-K set insertions (Fig. 14); param k",
+        defaults: |scale, _| {
+            [("total_inserts", 8_000 * scale), ("k", 100)]
+                .into_iter()
+                .collect()
+        },
+        run: |base, p| topk::run(&topk::Cfg::new(base, p.req("total_inserts"), p.req("k"))),
+    },
+    WorkloadDef {
+        name: "boruvka",
+        kind: WorkloadKind::App,
+        summary: "minimum spanning tree over a road-like graph; params side, diagonal_pct",
+        defaults: |scale, _| {
+            [("side", 10 + 2 * scale.min(20)), ("diagonal_pct", 30)]
+                .into_iter()
+                .collect()
+        },
+        run: |base, p| {
+            let mut cfg = boruvka::Cfg::new(base);
+            cfg.side = p.req("side") as usize;
+            cfg.diagonal_pct = p.req("diagonal_pct");
+            boruvka::run(&cfg)
+        },
+    },
+    WorkloadDef {
+        name: "kmeans",
+        kind: WorkloadKind::App,
+        summary: "clustering with commutative centroid updates; params n, d, k, iters",
+        defaults: |scale, _| {
+            [("n", 192 * scale), ("d", 4), ("k", 8), ("iters", 2)]
+                .into_iter()
+                .collect()
+        },
+        run: |base, p| {
+            let mut cfg = kmeans::Cfg::new(base);
+            cfg.n = p.req("n") as usize;
+            cfg.d = p.req("d") as usize;
+            cfg.k = p.req("k") as usize;
+            cfg.iters = p.req("iters") as usize;
+            kmeans::run(&cfg)
+        },
+    },
+    WorkloadDef {
+        name: "ssca2",
+        kind: WorkloadKind::App,
+        summary: "graph kernel with rare global-metadata updates; params nodes, edges, batch",
+        defaults: |scale, _| {
+            [
+                ("nodes", 1024),
+                ("edges", 2_048 * scale),
+                ("batch", 16),
+                ("work_per_edge", 24),
+            ]
+            .into_iter()
+            .collect()
+        },
+        run: |base, p| {
+            let mut cfg = ssca2::Cfg::new(base);
+            cfg.nodes = p.req("nodes") as usize;
+            cfg.edges = p.req("edges") as usize;
+            cfg.batch = p.req("batch") as usize;
+            cfg.work_per_edge = p.req("work_per_edge");
+            ssca2::run(&cfg)
+        },
+    },
+    WorkloadDef {
+        name: "genome",
+        kind: WorkloadKind::App,
+        summary: "sequence dedup over a hash set with gathers; params segments, unique, buckets",
+        defaults: |scale, _| {
+            [
+                ("segments", 2_000 * scale),
+                ("unique", 200 * scale),
+                ("buckets", 512 * scale),
+            ]
+            .into_iter()
+            .collect()
+        },
+        run: |base, p| {
+            let mut cfg = genome::Cfg::new(base);
+            cfg.segments = p.req("segments");
+            cfg.unique = p.req("unique");
+            cfg.buckets = p.req("buckets");
+            genome::run(&cfg)
+        },
+    },
+    WorkloadDef {
+        name: "vacation",
+        kind: WorkloadKind::App,
+        summary: "travel reservations with bounded remaining-space counters; params tasks, items",
+        defaults: |scale, _| {
+            [
+                ("tasks", 600 * scale),
+                ("items", 64),
+                ("query_pct", 60),
+                ("make_pct", 90),
+            ]
+            .into_iter()
+            .collect()
+        },
+        run: |base, p| {
+            let mut cfg = vacation::Cfg::new(base);
+            cfg.tasks = p.req("tasks");
+            cfg.items = p.req("items");
+            cfg.query_pct = p.req("query_pct");
+            cfg.make_pct = p.req("make_pct");
+            vacation::run(&cfg)
+        },
+    },
+];
+
+/// Looks a workload up by name.
+pub fn resolve(name: &str) -> Option<&'static WorkloadDef> {
+    WORKLOADS.iter().find(|w| w.name == name)
+}
+
+/// All registered workload names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    WORKLOADS.iter().map(|w| w.name).collect()
+}
+
+/// Fully-resolved parameters for one cell: registry defaults at the given
+/// scale, overridden by the cell's explicit parameters.
+pub fn resolved_params(cell: &Cell, scale: u64) -> Result<Params, String> {
+    let def =
+        resolve(&cell.workload).ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
+    Ok(((def.defaults)(scale, cell.threads)).overridden_by(&cell.params))
+}
+
+/// Runs one cell at the given scale and tuning.
+///
+/// # Errors
+///
+/// Fails if the workload name does not resolve.
+pub fn run_cell(cell: &Cell, scale: u64, tuning: commtm::Tuning) -> Result<RunReport, String> {
+    let def =
+        resolve(&cell.workload).ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
+    let params = resolved_params(cell, scale)?;
+    let base = BaseCfg::new(cell.threads, cell.scheme)
+        .with_seed(cell.seed)
+        .with_tuning(tuning);
+    Ok((def.run)(base, &params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Scenario, WorkloadSpec};
+
+    /// Satellite requirement: every micro and app is resolvable by name
+    /// with its default parameters.
+    #[test]
+    fn every_workload_resolves_by_name_with_defaults() {
+        let micros = ["counter", "refcount", "list", "oput", "topk"];
+        let apps = ["boruvka", "vacation", "kmeans", "genome", "ssca2"];
+        for name in micros {
+            let def = resolve(name).unwrap_or_else(|| panic!("micro {name} must resolve"));
+            assert_eq!(def.kind, WorkloadKind::Micro, "{name} registered as micro");
+            assert!(
+                !(def.defaults)(1, 4).is_empty(),
+                "{name} has default parameters"
+            );
+        }
+        for name in apps {
+            let def = resolve(name).unwrap_or_else(|| panic!("app {name} must resolve"));
+            assert_eq!(def.kind, WorkloadKind::App, "{name} registered as app");
+            assert!(
+                !(def.defaults)(1, 4).is_empty(),
+                "{name} has default parameters"
+            );
+        }
+        assert_eq!(
+            WORKLOADS.len(),
+            micros.len() + apps.len(),
+            "registry is exactly these ten"
+        );
+        assert!(resolve("not-a-workload").is_none());
+    }
+
+    #[test]
+    fn defaults_scale_with_the_scale_factor() {
+        let counter = resolve("counter").unwrap();
+        let d1 = (counter.defaults)(1, 4);
+        let d5 = (counter.defaults)(5, 4);
+        assert_eq!(
+            d5.get("total_incs"),
+            Some(5 * d1.get("total_incs").unwrap())
+        );
+    }
+
+    #[test]
+    fn run_cell_executes_and_overrides_params() {
+        let scn = Scenario::new("t", "t")
+            .workload(WorkloadSpec::named("counter").param("total_incs", 60))
+            .threads(&[3])
+            .seeds(&[42]);
+        let cells = scn.cells();
+        let report = run_cell(&cells[0], 1, Default::default()).unwrap();
+        // 60 increments despite the scaled default of 20_000.
+        assert_eq!(report.commits(), 60);
+        let report2 = run_cell(&cells[1], 1, Default::default()).unwrap();
+        assert_eq!(report2.commits(), 60);
+    }
+}

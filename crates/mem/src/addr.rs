@@ -63,12 +63,12 @@ impl Addr {
 
     /// Returns `true` if the address is aligned to a word boundary.
     pub const fn is_word_aligned(self) -> bool {
-        self.0 % WORD_BYTES == 0
+        self.0.is_multiple_of(WORD_BYTES)
     }
 
     /// Returns `true` if the address is aligned to a line boundary.
     pub const fn is_line_aligned(self) -> bool {
-        self.0 % LINE_BYTES == 0
+        self.0.is_multiple_of(LINE_BYTES)
     }
 
     /// Returns the address `bytes` past this one.
@@ -136,7 +136,10 @@ impl LineAddr {
     ///
     /// Panics if `index >= WORDS_PER_LINE`.
     pub fn word(self, index: usize) -> Addr {
-        assert!(index < WORDS_PER_LINE, "word index {index} out of line bounds");
+        assert!(
+            index < WORDS_PER_LINE,
+            "word index {index} out of line bounds"
+        );
         self.base().offset_words(index as u64)
     }
 }

@@ -57,9 +57,24 @@ impl Mesh {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(cols: u32, rows: u32, cores_per_tile: u32, router_delay: u64, link_delay: u64) -> Self {
-        assert!(cols > 0 && rows > 0 && cores_per_tile > 0, "mesh dimensions must be non-zero");
-        Mesh { cols, rows, cores_per_tile, router_delay, link_delay }
+    pub fn new(
+        cols: u32,
+        rows: u32,
+        cores_per_tile: u32,
+        router_delay: u64,
+        link_delay: u64,
+    ) -> Self {
+        assert!(
+            cols > 0 && rows > 0 && cores_per_tile > 0,
+            "mesh dimensions must be non-zero"
+        );
+        Mesh {
+            cols,
+            rows,
+            cores_per_tile,
+            router_delay,
+            link_delay,
+        }
     }
 
     /// The paper's configuration: 4×4 mesh, 8 cores/tile, 2-cycle routers,
@@ -121,7 +136,10 @@ impl Mesh {
 
     fn tile(&self, index: u32) -> Tile {
         let index = index % self.tiles();
-        Tile { x: index % self.cols, y: index / self.cols }
+        Tile {
+            x: index % self.cols,
+            y: index / self.cols,
+        }
     }
 }
 
@@ -157,7 +175,7 @@ mod tests {
     #[test]
     fn banks_cover_range() {
         let m = Mesh::paper();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for i in 0..4096u64 {
             seen[m.bank_of(LineAddr::new(i), 16)] = true;
         }

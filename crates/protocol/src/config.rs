@@ -64,7 +64,10 @@ impl ProtoConfig {
     /// of the hierarchy is unchanged, matching the paper's thread-count
     /// sweeps on a fixed 128-core chip.
     pub fn paper_with_cores(cores: usize) -> Self {
-        ProtoConfig { cores, ..Self::paper() }
+        ProtoConfig {
+            cores,
+            ..Self::paper()
+        }
     }
 
     /// A miniature hierarchy (4 cores, 2-set caches) that exercises
@@ -76,7 +79,7 @@ impl ProtoConfig {
             l2: CacheGeometry::new(4, 2),
             l3_bank: CacheGeometry::new(16, 4),
             l3_banks: 2,
-            mesh: Mesh::new(2, 1, ((cores + 1) / 2).max(1) as u32, 2, 1),
+            mesh: Mesh::new(2, 1, cores.div_ceil(2).max(1) as u32, 2, 1),
             l2_latency: 6,
             l3_latency: 15,
             mem_latency: 136,

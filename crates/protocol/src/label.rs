@@ -84,7 +84,12 @@ impl LabelDef {
         identity: LineData,
         reduce: impl Fn(&mut dyn ReduceOps, &mut LineData, &LineData) + Send + Sync + 'static,
     ) -> Self {
-        LabelDef { name: name.into(), identity, reduce: Arc::new(reduce), split: None }
+        LabelDef {
+            name: name.into(),
+            identity,
+            reduce: Arc::new(reduce),
+            split: None,
+        }
     }
 
     /// Adds a splitter, enabling gather requests on this label.

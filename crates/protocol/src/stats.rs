@@ -51,7 +51,7 @@ impl CoreProtoStats {
 }
 
 /// Protocol statistics for the whole machine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProtoStats {
     cores: Vec<CoreProtoStats>,
 }
@@ -59,7 +59,9 @@ pub struct ProtoStats {
 impl ProtoStats {
     /// Creates zeroed statistics for `cores` cores.
     pub fn new(cores: usize) -> Self {
-        ProtoStats { cores: vec![CoreProtoStats::default(); cores] }
+        ProtoStats {
+            cores: vec![CoreProtoStats::default(); cores],
+        }
     }
 
     /// Mutable access to one core's counters.

@@ -25,7 +25,10 @@ impl MemSystem {
         if txs.entry(victim).active {
             self.rollback_core(victim);
             txs.end(victim);
-            acc.events.push(ProtoEvent::Aborted { core: victim, cause: kind });
+            acc.events.push(ProtoEvent::Aborted {
+                core: victim,
+                cause: kind,
+            });
         }
     }
 
@@ -47,8 +50,14 @@ impl MemSystem {
         txs: &mut TxTable,
         acc: &mut Acc,
     ) -> Result<(), AbortKind> {
-        let Some(vts) = txs.active_ts(victim) else { return Ok(()) };
-        let Some(bits) = self.privs[victim.index()].l1.peek(line).map(|e| e.meta.spec) else {
+        let Some(vts) = txs.active_ts(victim) else {
+            return Ok(());
+        };
+        let Some(bits) = self.privs[victim.index()]
+            .l1
+            .peek(line)
+            .map(|e| e.meta.spec)
+        else {
             return Ok(());
         };
         if !bits.any() || !relevant(bits) {
@@ -82,17 +91,28 @@ impl MemSystem {
 
     pub(crate) fn dir(&self, line: LineAddr) -> DirState {
         let bank = self.bank_of(line);
-        self.l3[bank].peek(line).expect("dir lookup before l3_ensure").meta.dir
+        self.l3[bank]
+            .peek(line)
+            .expect("dir lookup before l3_ensure")
+            .meta
+            .dir
     }
 
     pub(crate) fn set_dir(&mut self, line: LineAddr, dir: DirState) {
         let bank = self.bank_of(line);
-        self.l3[bank].get(line).expect("dir update before l3_ensure").meta.dir = dir;
+        self.l3[bank]
+            .get(line)
+            .expect("dir update before l3_ensure")
+            .meta
+            .dir = dir;
     }
 
     pub(crate) fn l3_data(&self, line: LineAddr) -> LineData {
         let bank = self.bank_of(line);
-        self.l3[bank].peek(line).expect("l3 data before l3_ensure").data
+        self.l3[bank]
+            .peek(line)
+            .expect("l3 data before l3_ensure")
+            .data
     }
 
     pub(crate) fn set_l3_data(&mut self, line: LineAddr, data: LineData, dirty: bool) {
@@ -130,7 +150,11 @@ impl MemSystem {
                 // MESI: sole requester gets E.
                 let data = self.l3_data(line);
                 self.set_dir(line, DirState::Exclusive(core));
-                let meta = PrivMeta { state: CohState::E, label: None, dirty: false };
+                let meta = PrivMeta {
+                    state: CohState::E,
+                    label: None,
+                    dirty: false,
+                };
                 self.install_private(core, line, data, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -138,7 +162,11 @@ impl MemSystem {
                 let data = self.l3_data(line);
                 s.insert(core);
                 self.set_dir(line, DirState::Shared(s));
-                let meta = PrivMeta { state: CohState::S, label: None, dirty: false };
+                let meta = PrivMeta {
+                    state: CohState::S,
+                    label: None,
+                    dirty: false,
+                };
                 self.install_private(core, line, data, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -167,7 +195,11 @@ impl MemSystem {
                 {
                     let p = &mut self.privs[owner.index()];
                     let l2e = p.l2.get(line).expect("owner must hold line");
-                    l2e.meta = PrivMeta { state: CohState::S, label: None, dirty: false };
+                    l2e.meta = PrivMeta {
+                        state: CohState::S,
+                        label: None,
+                        dirty: false,
+                    };
                     l2e.data = v;
                     if let Some(e) = p.l1.get(line) {
                         e.data = v;
@@ -181,7 +213,11 @@ impl MemSystem {
                 let mut s = SharerSet::single(owner);
                 s.insert(core);
                 self.set_dir(line, DirState::Shared(s));
-                let meta = PrivMeta { state: CohState::S, label: None, dirty: false };
+                let meta = PrivMeta {
+                    state: CohState::S,
+                    label: None,
+                    dirty: false,
+                };
                 self.install_private(core, line, v, meta, txs, acc, handler);
                 acc.lat(
                     self.cfg.mesh.bank_to_core(bank, owner)
@@ -215,7 +251,11 @@ impl MemSystem {
             DirState::Uncached => {
                 let data = self.l3_data(line);
                 self.set_dir(line, DirState::Exclusive(core));
-                let meta = PrivMeta { state: CohState::E, label: None, dirty: false };
+                let meta = PrivMeta {
+                    state: CohState::E,
+                    label: None,
+                    dirty: false,
+                };
                 self.install_private(core, line, data, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -263,7 +303,11 @@ impl MemSystem {
                     self.l3_data(line)
                 };
                 self.set_dir(line, DirState::Exclusive(core));
-                let meta = PrivMeta { state: CohState::E, label: None, dirty: false };
+                let meta = PrivMeta {
+                    state: CohState::E,
+                    label: None,
+                    dirty: false,
+                };
                 self.install_private(core, line, data, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -288,7 +332,11 @@ impl MemSystem {
                 self.invalidate_private(owner, line);
                 self.set_l3_data(line, v, true);
                 self.set_dir(line, DirState::Exclusive(core));
-                let meta = PrivMeta { state: CohState::E, label: None, dirty: false };
+                let meta = PrivMeta {
+                    state: CohState::E,
+                    label: None,
+                    dirty: false,
+                };
                 self.install_private(core, line, v, meta, txs, acc, handler);
                 acc.lat(
                     self.cfg.mesh.bank_to_core(bank, owner)
@@ -313,7 +361,10 @@ impl MemSystem {
         acc: &mut Acc,
         handler: bool,
     ) {
-        assert!(!handler, "reduction handlers must use conventional accesses only");
+        assert!(
+            !handler,
+            "reduction handlers must use conventional accesses only"
+        );
         self.stats.core_mut(core).getu += 1;
         let bank = self.bank_of(line);
         acc.lat(self.cfg.l2_latency + self.cfg.mesh.core_to_bank(core, bank) + self.cfg.l3_latency);
@@ -326,7 +377,11 @@ impl MemSystem {
             DirState::Uncached => {
                 let data = self.l3_data(line);
                 self.set_dir(line, DirState::Reducible(label, SharerSet::single(core)));
-                let meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                let meta = PrivMeta {
+                    state: CohState::U,
+                    label: Some(label),
+                    dirty: true,
+                };
                 self.install_private(core, line, data, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -376,7 +431,11 @@ impl MemSystem {
                     self.l3_data(line)
                 };
                 self.set_dir(line, DirState::Reducible(label, SharerSet::single(core)));
-                let meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                let meta = PrivMeta {
+                    state: CohState::U,
+                    label: Some(label),
+                    dirty: true,
+                };
                 self.install_private(core, line, data, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -384,13 +443,22 @@ impl MemSystem {
             // initializes its copy with the identity value.
             DirState::Reducible(l, mut s) if l == label => {
                 if super::trace_enabled() {
-                    eprintln!("    [proto] GETU case4 identity fill at {core:?} {line} (sharers {s:?})");
+                    eprintln!(
+                        "    [proto] GETU case4 identity fill at {core:?} {line} (sharers {s:?})"
+                    );
                 }
-                debug_assert!(!s.contains(core), "local U hit should not reach the directory");
+                debug_assert!(
+                    !s.contains(core),
+                    "local U hit should not reach the directory"
+                );
                 s.insert(core);
                 self.set_dir(line, DirState::Reducible(label, s));
                 let identity = self.labels.def(label).identity();
-                let meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                let meta = PrivMeta {
+                    state: CohState::U,
+                    label: Some(label),
+                    dirty: true,
+                };
                 self.install_private(core, line, identity, meta, txs, acc, handler);
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
@@ -400,7 +468,11 @@ impl MemSystem {
                 let ok =
                     self.reduction_flow(core, line, other, s, ReqClass::Labeled, req_ts, txs, acc);
                 if ok {
-                    let meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                    let meta = PrivMeta {
+                        state: CohState::U,
+                        label: Some(label),
+                        dirty: true,
+                    };
                     self.set_priv_meta(core, line, meta, txs, acc);
                     self.set_dir(line, DirState::Reducible(label, SharerSet::single(core)));
                 }
@@ -409,25 +481,44 @@ impl MemSystem {
             // data; the requester initializes with identity (Fig. 4b).
             DirState::Exclusive(owner) => {
                 debug_assert_ne!(owner, core, "GETU from the exclusive owner");
-                let relevant = |b: SpecBits| {
-                    b.read || b.written || (b.labeled && b.label != Some(label))
-                };
+                let relevant =
+                    |b: SpecBits| b.read || b.written || (b.labeled && b.label != Some(label));
                 if self
-                    .conflict_check(core, owner, line, ReqClass::Labeled, req_ts, relevant, txs, acc)
+                    .conflict_check(
+                        core,
+                        owner,
+                        line,
+                        ReqClass::Labeled,
+                        req_ts,
+                        relevant,
+                        txs,
+                        acc,
+                    )
                     .is_err()
                 {
                     return;
                 }
-                let owner_meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                let owner_meta = PrivMeta {
+                    state: CohState::U,
+                    label: Some(label),
+                    dirty: true,
+                };
                 self.set_priv_meta(owner, line, owner_meta, txs, acc);
                 let mut s = SharerSet::single(owner);
                 s.insert(core);
                 self.set_dir(line, DirState::Reducible(label, s));
                 let identity = self.labels.def(label).identity();
-                let meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                let meta = PrivMeta {
+                    state: CohState::U,
+                    label: Some(label),
+                    dirty: true,
+                };
                 self.install_private(core, line, identity, meta, txs, acc, handler);
                 acc.lat(
-                    self.cfg.mesh.bank_to_core(bank, owner).max(self.cfg.mesh.bank_to_core(bank, core)),
+                    self.cfg
+                        .mesh
+                        .bank_to_core(bank, owner)
+                        .max(self.cfg.mesh.bank_to_core(bank, core)),
                 );
             }
         }
@@ -460,7 +551,11 @@ impl MemSystem {
         if sharers.sole_member() == Some(core) {
             let p = &mut self.privs[core.index()];
             let l2e = p.l2.get(line).expect("sharer must hold line");
-            l2e.meta = PrivMeta { state: CohState::M, label: None, dirty: true };
+            l2e.meta = PrivMeta {
+                state: CohState::M,
+                label: None,
+                dirty: true,
+            };
             self.set_dir(line, DirState::Exclusive(core));
             acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             return true;
@@ -488,7 +583,11 @@ impl MemSystem {
             have_acc = true;
         }
         // After a self-demotion the reduction itself is non-speculative.
-        let req_ts = if acc.self_abort.is_some() { None } else { req_ts };
+        let req_ts = if acc.self_abort.is_some() {
+            None
+        } else {
+            req_ts
+        };
 
         let mut nacked = false;
         let mut survivors = sharers;
@@ -498,12 +597,12 @@ impl MemSystem {
             if t == core {
                 continue;
             }
-            match self.conflict_check(core, t, line, class, req_ts, |b| b.any(), txs, acc) {
-                Err(_) => {
-                    nacked = true;
-                    continue;
-                }
-                Ok(()) => {}
+            if self
+                .conflict_check(core, t, line, class, req_ts, |b| b.any(), txs, acc)
+                .is_err()
+            {
+                nacked = true;
+                continue;
             }
             let v = self.priv_nonspec(t, line);
             self.invalidate_private(t, line);
@@ -529,12 +628,19 @@ impl MemSystem {
             if is_sharer {
                 self.set_nonspec_value(core, line, fold);
             } else if have_acc {
-                let meta = PrivMeta { state: CohState::U, label: Some(label), dirty: true };
+                let meta = PrivMeta {
+                    state: CohState::U,
+                    label: Some(label),
+                    dirty: true,
+                };
                 self.install_private(core, line, fold, meta, txs, acc, false);
                 survivors.insert(core);
             }
             self.set_dir(line, DirState::Reducible(label, survivors));
-            debug_assert!(acc.self_abort.is_some(), "NACKed reduction must abort requester");
+            debug_assert!(
+                acc.self_abort.is_some(),
+                "NACKed reduction must abort requester"
+            );
             return false;
         }
 
@@ -544,9 +650,17 @@ impl MemSystem {
             self.set_nonspec_value(core, line, fold);
             let p = &mut self.privs[core.index()];
             let l2e = p.l2.get(line).expect("sharer must hold line");
-            l2e.meta = PrivMeta { state: CohState::M, label: None, dirty: true };
+            l2e.meta = PrivMeta {
+                state: CohState::M,
+                label: None,
+                dirty: true,
+            };
         } else {
-            let meta = PrivMeta { state: CohState::M, label: None, dirty: true };
+            let meta = PrivMeta {
+                state: CohState::M,
+                label: None,
+                dirty: true,
+            };
             self.install_private(core, line, fold, meta, txs, acc, false);
         }
         true
@@ -572,20 +686,29 @@ impl MemSystem {
             panic!("gather on {line} with a non-reducible directory state");
         };
         assert_eq!(l, label, "gather label mismatch");
-        assert!(sharers.contains(core), "gather requester must be a U sharer");
+        assert!(
+            sharers.contains(core),
+            "gather requester must be a U sharer"
+        );
 
         // Conservative extension of the Sec. III-B4 rule: a gather from a
         // transaction that already speculatively modified its local copy
         // would need speculative splitting; abort and retry demoted (no
         // workload in the paper or this suite hits this).
-        let dirty_spec =
-            self.privs[core.index()].l1.peek(line).is_some_and(|e| e.meta.spec.dirty_data);
+        let dirty_spec = self.privs[core.index()]
+            .l1
+            .peek(line)
+            .is_some_and(|e| e.meta.spec.dirty_data);
         if dirty_spec && txs.entry(core).active {
             self.rollback_core(core);
             txs.end(core);
             acc.abort_self(AbortKind::SelfDemote);
         }
-        let req_ts = if acc.self_abort.is_some() { None } else { txs.active_ts(core) };
+        let req_ts = if acc.self_abort.is_some() {
+            None
+        } else {
+            txs.active_ts(core)
+        };
 
         let def = self.labels.def(label);
         assert!(
@@ -603,7 +726,16 @@ impl MemSystem {
                 continue;
             }
             if self
-                .conflict_check(core, t, line, ReqClass::Split, req_ts, |b| b.any(), txs, acc)
+                .conflict_check(
+                    core,
+                    t,
+                    line,
+                    ReqClass::Split,
+                    req_ts,
+                    |b| b.any(),
+                    txs,
+                    acc,
+                )
                 .is_err()
             {
                 continue;

@@ -25,7 +25,9 @@ impl MemSystem {
         );
         if victim.meta.dirty {
             let p = &mut self.privs[core.index()];
-            let l2e = p.l2.get(victim.tag).expect("inclusion: L1 line must be in L2");
+            let l2e =
+                p.l2.get(victim.tag)
+                    .expect("inclusion: L1 line must be in L2");
             l2e.data = victim.data;
             l2e.meta.dirty = true;
         }
@@ -88,7 +90,11 @@ impl MemSystem {
                 s.remove(core);
                 self.set_dir(
                     line,
-                    if s.is_empty() { DirState::Uncached } else { DirState::Shared(s) },
+                    if s.is_empty() {
+                        DirState::Uncached
+                    } else {
+                        DirState::Shared(s)
+                    },
                 );
             }
             CohState::E => {
@@ -146,8 +152,14 @@ impl MemSystem {
         }
         acc.lat(self.cfg.mem_latency);
         let data = self.mem.read_line(line);
-        let class = if handler { EvictionClass::Handler } else { EvictionClass::NonReducible };
-        let victim = self.l3[bank].fill(line, data, L3Meta::default(), class).victim;
+        let class = if handler {
+            EvictionClass::Handler
+        } else {
+            EvictionClass::NonReducible
+        };
+        let victim = self.l3[bank]
+            .fill(line, data, L3Meta::default(), class)
+            .victim;
         if let Some(v) = victim {
             self.l3_evict(v, txs, acc);
         }
@@ -191,7 +203,8 @@ impl MemSystem {
                         }
                     });
                 }
-                self.mem.write_line(line, fold.expect("at least one sharer"));
+                self.mem
+                    .write_line(line, fold.expect("at least one sharer"));
             }
         }
     }
@@ -206,8 +219,10 @@ impl MemSystem {
         txs: &mut TxTable,
         acc: &mut Acc,
     ) -> LineData {
-        let touched =
-            self.privs[core.index()].l1.peek(line).is_some_and(|e| e.meta.spec.any());
+        let touched = self.privs[core.index()]
+            .l1
+            .peek(line)
+            .is_some_and(|e| e.meta.spec.any());
         if touched {
             self.abort_tx(core, AbortKind::LlcEviction, txs, acc);
         }

@@ -23,18 +23,37 @@ struct HandlerOps<'a, 'b> {
 
 impl ReduceOps for HandlerOps<'_, '_> {
     fn read(&mut self, addr: Addr) -> u64 {
-        let v = self.sys.do_op(self.core, MemOp::Load, addr, self.txs, self.acc, true);
+        let v = self
+            .sys
+            .do_op(self.core, MemOp::Load, addr, self.txs, self.acc, true);
         if super::trace_enabled() {
-            eprintln!("      [hand] {:?} R @{:x} -> {:x}", self.core, addr.raw(), v);
+            eprintln!(
+                "      [hand] {:?} R @{:x} -> {:x}",
+                self.core,
+                addr.raw(),
+                v
+            );
         }
         v
     }
 
     fn write(&mut self, addr: Addr, value: u64) {
         if super::trace_enabled() {
-            eprintln!("      [hand] {:?} W @{:x} <- {:x}", self.core, addr.raw(), value);
+            eprintln!(
+                "      [hand] {:?} W @{:x} <- {:x}",
+                self.core,
+                addr.raw(),
+                value
+            );
         }
-        self.sys.do_op(self.core, MemOp::Store(value), addr, self.txs, self.acc, true);
+        self.sys.do_op(
+            self.core,
+            MemOp::Store(value),
+            addr,
+            self.txs,
+            self.acc,
+            true,
+        );
     }
 }
 
@@ -51,7 +70,13 @@ impl MemSystem {
         acc: &mut Acc,
     ) {
         let f = self.labels.def(label).reduce();
-        let mut ops = HandlerOps { sys: self, core, txs, acc, _marker: Default::default() };
+        let mut ops = HandlerOps {
+            sys: self,
+            core,
+            txs,
+            acc,
+            _marker: Default::default(),
+        };
         f(&mut ops, dst, src);
     }
 
@@ -71,12 +96,17 @@ impl MemSystem {
         txs: &mut TxTable,
         acc: &mut Acc,
     ) {
-        let f = self
-            .labels
-            .def(label)
-            .split()
-            .unwrap_or_else(|| panic!("label '{}' has no splitter", self.labels.def(label).name()));
-        let mut ops = HandlerOps { sys: self, core, txs, acc, _marker: Default::default() };
+        let f =
+            self.labels.def(label).split().unwrap_or_else(|| {
+                panic!("label '{}' has no splitter", self.labels.def(label).name())
+            });
+        let mut ops = HandlerOps {
+            sys: self,
+            core,
+            txs,
+            acc,
+            _marker: Default::default(),
+        };
         f(&mut ops, local, out, num_sharers);
     }
 }

@@ -27,7 +27,9 @@ impl MemSystem {
             for e in p.l1.iter() {
                 let line = e.tag;
                 let Some(l2e) = p.l2.peek(line) else {
-                    return Err(format!("{core}: L1 line {line} missing from L2 (inclusion)"));
+                    return Err(format!(
+                        "{core}: L1 line {line} missing from L2 (inclusion)"
+                    ));
                 };
                 if l2e.meta.state == CohState::I {
                     return Err(format!("{core}: L1 line {line} backed by invalid L2 state"));
@@ -40,7 +42,9 @@ impl MemSystem {
                 let line = e.tag;
                 let bank = self.bank_of(line);
                 let Some(l3e) = self.l3[bank].peek(line) else {
-                    return Err(format!("{core}: private line {line} missing from L3 (inclusion)"));
+                    return Err(format!(
+                        "{core}: private line {line} missing from L3 (inclusion)"
+                    ));
                 };
                 let dir = l3e.meta.dir;
                 match e.meta.state {
@@ -49,9 +53,7 @@ impl MemSystem {
                     }
                     CohState::S => {
                         if !matches!(dir, DirState::Shared(s) if s.contains(core)) {
-                            return Err(format!(
-                                "{core}: S line {line} but directory is {dir:?}"
-                            ));
+                            return Err(format!("{core}: S line {line} but directory is {dir:?}"));
                         }
                     }
                     CohState::E | CohState::M => {
@@ -93,9 +95,7 @@ impl MemSystem {
                     DirState::Uncached => {
                         for (ci, p) in self.privs.iter().enumerate() {
                             if p.l2.contains(line) {
-                                return Err(format!(
-                                    "uncached line {line} resident at core{ci}"
-                                ));
+                                return Err(format!("uncached line {line} resident at core{ci}"));
                             }
                         }
                     }

@@ -87,10 +87,20 @@ impl MemSystem {
                 spec_lines: Vec::new(),
             })
             .collect();
-        let l3 = (0..cfg.l3_banks).map(|_| CacheArray::new(cfg.l3_bank)).collect();
+        let l3 = (0..cfg.l3_banks)
+            .map(|_| CacheArray::new(cfg.l3_bank))
+            .collect();
         let stats = ProtoStats::new(cfg.cores);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        MemSystem { cfg, labels, mem: MainMemory::new(), l3, privs, stats, rng }
+        MemSystem {
+            cfg,
+            labels,
+            mem: MainMemory::new(),
+            l3,
+            privs,
+            stats,
+            rng,
+        }
     }
 
     /// The configuration this system was built with.
@@ -137,12 +147,18 @@ impl MemSystem {
                 acc.self_abort = Some(cause);
             }
         }
-        acc.events.retain(|e| !matches!(e, ProtoEvent::Aborted { core: c, .. } if *c == core));
+        acc.events
+            .retain(|e| !matches!(e, ProtoEvent::Aborted { core: c, .. } if *c == core));
         if acc.self_abort.is_some() {
             self.rollback_core(core);
             txs.end(core);
         }
-        Access { value, latency: acc.latency, self_abort: acc.self_abort, events: acc.events }
+        Access {
+            value,
+            latency: acc.latency,
+            self_abort: acc.self_abort,
+            events: acc.events,
+        }
     }
 
     /// Commits `core`'s transaction: its speculative L1 data becomes
@@ -218,7 +234,9 @@ impl MemSystem {
         if let Some(e) = p.l1.peek(line) {
             e.data
         } else {
-            p.l2.peek(line).expect("line not present in private cache").data
+            p.l2.peek(line)
+                .expect("line not present in private cache")
+                .data
         }
     }
 
@@ -228,7 +246,11 @@ impl MemSystem {
         let p = &self.privs[core.index()];
         match p.l1.peek(line) {
             Some(e) if !e.meta.spec.dirty_data => e.data,
-            _ => p.l2.peek(line).expect("line not present in private cache").data,
+            _ => {
+                p.l2.peek(line)
+                    .expect("line not present in private cache")
+                    .data
+            }
         }
     }
 
@@ -236,8 +258,18 @@ impl MemSystem {
     /// word 0, footprint bits). For tracing only.
     pub fn debug_priv(&self, core: CoreId, line: LineAddr) -> String {
         let p = &self.privs[core.index()];
-        let l1 = p.l1.peek(line).map(|e| format!("L1[w0={:x} w1={:x} dirty={} spec={:?}]", e.data[0], e.data[1], e.meta.dirty, e.meta.spec));
-        let l2 = p.l2.peek(line).map(|e| format!("L2[{:?} w0={:x} w1={:x} dirty={}]", e.meta.state, e.data[0], e.data[1], e.meta.dirty));
+        let l1 = p.l1.peek(line).map(|e| {
+            format!(
+                "L1[w0={:x} w1={:x} dirty={} spec={:?}]",
+                e.data[0], e.data[1], e.meta.dirty, e.meta.spec
+            )
+        });
+        let l2 = p.l2.peek(line).map(|e| {
+            format!(
+                "L2[{:?} w0={:x} w1={:x} dirty={}]",
+                e.meta.state, e.data[0], e.data[1], e.meta.dirty
+            )
+        });
         format!("{:?} {:?}", l1, l2)
     }
 
@@ -338,7 +370,10 @@ impl MemSystem {
         acc: &mut Acc,
         handler: bool,
     ) -> u64 {
-        assert!(!handler, "reduction handlers must not issue gather requests");
+        assert!(
+            !handler,
+            "reduction handlers must not issue gather requests"
+        );
         let line = addr.line();
         let (state, lbl) = self.priv_state(core, line);
         if !(state == CohState::U && lbl == Some(label)) {
@@ -392,8 +427,10 @@ impl MemSystem {
             } else {
                 EvictionClass::NonReducible
             };
-            let victim =
-                self.privs[core.index()].l1.fill(line, data, L1Meta::default(), class).victim;
+            let victim = self.privs[core.index()]
+                .l1
+                .fill(line, data, L1Meta::default(), class)
+                .victim;
             if let Some(v) = victim {
                 self.l1_evict_tx(core, v, txs, acc);
             }
@@ -482,7 +519,10 @@ impl MemSystem {
         handler: bool,
     ) {
         if trace_enabled() {
-            eprintln!("    [proto] install {core:?} {line} {:?} w0={:x} w1={:x}", meta.state, data[0], data[1]);
+            eprintln!(
+                "    [proto] install {core:?} {line} {:?} w0={:x} w1={:x}",
+                meta.state, data[0], data[1]
+            );
         }
         let class = if handler {
             EvictionClass::Handler
@@ -576,7 +616,10 @@ impl MemSystem {
     /// copy is not speculatively dirty, the L1 copy.
     pub(crate) fn set_nonspec_value(&mut self, core: CoreId, line: LineAddr, data: LineData) {
         if trace_enabled() {
-            eprintln!("    [proto] set_nonspec {core:?} {line} w0={:x} w1={:x}", data[0], data[1]);
+            eprintln!(
+                "    [proto] set_nonspec {core:?} {line} w0={:x} w1={:x}",
+                data[0], data[1]
+            );
         }
         let p = &mut self.privs[core.index()];
         let l2e = p.l2.get(line).expect("set_nonspec_value without L2 entry");

@@ -213,7 +213,9 @@ pub struct TxTable {
 impl TxTable {
     /// Creates a table for `cores` cores, all idle.
     pub fn new(cores: usize) -> Self {
-        TxTable { entries: vec![TxEntry::default(); cores] }
+        TxTable {
+            entries: vec![TxEntry::default(); cores],
+        }
     }
 
     /// The entry for a core.
@@ -282,7 +284,13 @@ mod tests {
     use super::*;
 
     fn bits(read: bool, written: bool, labeled: bool) -> SpecBits {
-        SpecBits { read, written, labeled, label: None, dirty_data: written || labeled }
+        SpecBits {
+            read,
+            written,
+            labeled,
+            label: None,
+            dirty_data: written || labeled,
+        }
     }
 
     #[test]
@@ -354,7 +362,13 @@ mod tests {
         assert_eq!(t.active_ts(c), None);
         t.begin(c, 42);
         assert_eq!(t.active_ts(c), Some(42));
-        assert_eq!(t.entry(c), TxEntry { active: true, ts: 42 });
+        assert_eq!(
+            t.entry(c),
+            TxEntry {
+                active: true,
+                ts: 42
+            }
+        );
         t.end(c);
         assert_eq!(t.active_ts(c), None);
     }

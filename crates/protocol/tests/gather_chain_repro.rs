@@ -6,20 +6,33 @@ fn table() -> LabelTable {
     // The list label, as in commtm::labels::list().
     t.register(
         LabelDef::new("LIST", LineData::zeroed(), |ops, dst, src| {
-            if src[0] == 0 { return; }
-            if dst[0] == 0 { dst[0] = src[0]; dst[1] = src[1]; }
-            else { ops.write(Addr::new(dst[1]), src[0]); dst[1] = src[1]; }
+            if src[0] == 0 {
+                return;
+            }
+            if dst[0] == 0 {
+                dst[0] = src[0];
+                dst[1] = src[1];
+            } else {
+                ops.write(Addr::new(dst[1]), src[0]);
+                dst[1] = src[1];
+            }
         })
         .with_split(|ops, local, out, _n| {
             let head = local[0];
-            if head == 0 { return; }
+            if head == 0 {
+                return;
+            }
             let next = ops.read(Addr::new(head));
             local[0] = next;
-            if next == 0 { local[1] = 0; }
+            if next == 0 {
+                local[1] = 0;
+            }
             ops.write(Addr::new(head), 0);
-            out[0] = head; out[1] = head;
+            out[0] = head;
+            out[1] = head;
         }),
-    ).unwrap();
+    )
+    .unwrap();
     t
 }
 
@@ -27,21 +40,36 @@ const LIST: commtm_mem::LabelId = commtm_mem::LabelId::new(0);
 const DESC: Addr = Addr::new(0x1000);
 const NODE_A: Addr = Addr::new(0x2000);
 const NODE_B: Addr = Addr::new(0x3000);
-fn c(i: usize) -> CoreId { CoreId::new(i) }
+fn c(i: usize) -> CoreId {
+    CoreId::new(i)
+}
 
 #[test]
 fn split_from_retained_chain_detaches_donated_node() {
-    let (mut m, mut txs) = (MemSystem::new(ProtoConfig::paper_with_cores(4), table()), TxTable::new(4));
+    let (mut m, mut txs) = (
+        MemSystem::new(ProtoConfig::paper_with_cores(4), table()),
+        TxTable::new(4),
+    );
     let _ = WORDS_PER_LINE;
     // Core 2 holds list {A}; core 3 holds list {B} (committed enqueues).
     m.access(c(2), MemOp::Store(0), NODE_A, &mut txs);
-    m.access(c(2), MemOp::LoadL(LIST, ), DESC, &mut txs);
+    m.access(c(2), MemOp::LoadL(LIST), DESC, &mut txs);
     m.access(c(2), MemOp::StoreL(LIST, NODE_A.raw()), DESC, &mut txs);
-    m.access(c(2), MemOp::StoreL(LIST, NODE_A.raw()), DESC.offset_words(1), &mut txs);
+    m.access(
+        c(2),
+        MemOp::StoreL(LIST, NODE_A.raw()),
+        DESC.offset_words(1),
+        &mut txs,
+    );
     m.access(c(3), MemOp::Store(0), NODE_B, &mut txs);
     m.access(c(3), MemOp::LoadL(LIST), DESC, &mut txs);
     m.access(c(3), MemOp::StoreL(LIST, NODE_B.raw()), DESC, &mut txs);
-    m.access(c(3), MemOp::StoreL(LIST, NODE_B.raw()), DESC.offset_words(1), &mut txs);
+    m.access(
+        c(3),
+        MemOp::StoreL(LIST, NODE_B.raw()),
+        DESC.offset_words(1),
+        &mut txs,
+    );
     // Core 1: OLDER tx with labeled footprint -> NACKs splits.
     txs.begin(c(1), 1);
     m.access(c(1), MemOp::LoadL(LIST), DESC, &mut txs);
@@ -55,29 +83,50 @@ fn split_from_retained_chain_detaches_donated_node() {
     let head = m.access(c(0), MemOp::LoadL(LIST), DESC, &mut txs).value;
     assert_eq!(head, NODE_A.raw(), "retained chain head");
     // Core 1 commits; then gathers (no conflicts now): takes A from core 0.
-    m.commit_core(c(1)); txs.end(c(1));
+    m.commit_core(c(1));
+    txs.end(c(1));
     m.access(c(1), MemOp::LoadL(LIST), DESC, &mut txs);
     let got = m.access(c(1), MemOp::Gather(LIST), DESC, &mut txs);
     assert!(got.self_abort.is_none());
-    assert_eq!(got.value, NODE_A.raw(), "core 1 receives the donated head A");
+    assert_eq!(
+        got.value,
+        NODE_A.raw(),
+        "core 1 receives the donated head A"
+    );
     // THE CRITICAL CHECK: A was detached when donated, so A.next must be 0.
     let a_next = m.access(c(1), MemOp::Load, NODE_A, &mut txs).value;
-    assert_eq!(a_next, 0, "donated node must be detached from the old chain");
+    assert_eq!(
+        a_next, 0,
+        "donated node must be detached from the old chain"
+    );
     m.check_invariants().unwrap();
 }
 
 #[test]
 fn nacked_gather_chain_visible_to_retry() {
-    let (mut m, mut txs) = (MemSystem::new(ProtoConfig::paper_with_cores(4), table()), TxTable::new(4));
+    let (mut m, mut txs) = (
+        MemSystem::new(ProtoConfig::paper_with_cores(4), table()),
+        TxTable::new(4),
+    );
     // Committed singleton lists at cores 2 and 3.
     m.access(c(2), MemOp::Store(0), NODE_A, &mut txs);
     m.access(c(2), MemOp::LoadL(LIST), DESC, &mut txs);
     m.access(c(2), MemOp::StoreL(LIST, NODE_A.raw()), DESC, &mut txs);
-    m.access(c(2), MemOp::StoreL(LIST, NODE_A.raw()), DESC.offset_words(1), &mut txs);
+    m.access(
+        c(2),
+        MemOp::StoreL(LIST, NODE_A.raw()),
+        DESC.offset_words(1),
+        &mut txs,
+    );
     m.access(c(3), MemOp::Store(0), NODE_B, &mut txs);
     m.access(c(3), MemOp::LoadL(LIST), DESC, &mut txs);
     m.access(c(3), MemOp::StoreL(LIST, NODE_B.raw()), DESC, &mut txs);
-    m.access(c(3), MemOp::StoreL(LIST, NODE_B.raw()), DESC.offset_words(1), &mut txs);
+    m.access(
+        c(3),
+        MemOp::StoreL(LIST, NODE_B.raw()),
+        DESC.offset_words(1),
+        &mut txs,
+    );
     // Core 0: older tx with labeled footprint (will NACK).
     txs.begin(c(0), 7);
     m.access(c(0), MemOp::LoadL(LIST), DESC, &mut txs);
@@ -89,21 +138,38 @@ fn nacked_gather_chain_visible_to_retry() {
     // Retry: the retained chain head must be visible.
     txs.begin(c(1), 10);
     let v = m.access(c(1), MemOp::LoadL(LIST), DESC, &mut txs).value;
-    assert_eq!(v, NODE_A.raw(), "retained chained donations must be visible to the retry");
+    assert_eq!(
+        v,
+        NODE_A.raw(),
+        "retained chained donations must be visible to the retry"
+    );
     m.check_invariants().unwrap();
 }
 
 #[test]
 fn victim_abort_then_split_keeps_remainder_visible() {
-    let (mut m, mut txs) = (MemSystem::new(ProtoConfig::paper_with_cores(4), table()), TxTable::new(4));
+    let (mut m, mut txs) = (
+        MemSystem::new(ProtoConfig::paper_with_cores(4), table()),
+        TxTable::new(4),
+    );
     m.access(c(2), MemOp::Store(0), NODE_A, &mut txs);
     m.access(c(2), MemOp::LoadL(LIST), DESC, &mut txs);
     m.access(c(2), MemOp::StoreL(LIST, NODE_A.raw()), DESC, &mut txs);
-    m.access(c(2), MemOp::StoreL(LIST, NODE_A.raw()), DESC.offset_words(1), &mut txs);
+    m.access(
+        c(2),
+        MemOp::StoreL(LIST, NODE_A.raw()),
+        DESC.offset_words(1),
+        &mut txs,
+    );
     m.access(c(3), MemOp::Store(0), NODE_B, &mut txs);
     m.access(c(3), MemOp::LoadL(LIST), DESC, &mut txs);
     m.access(c(3), MemOp::StoreL(LIST, NODE_B.raw()), DESC, &mut txs);
-    m.access(c(3), MemOp::StoreL(LIST, NODE_B.raw()), DESC.offset_words(1), &mut txs);
+    m.access(
+        c(3),
+        MemOp::StoreL(LIST, NODE_B.raw()),
+        DESC.offset_words(1),
+        &mut txs,
+    );
     // Core 1 (younger): gathers both donations -> chain {A->B} at core 1,
     // still inside its transaction (no NACK: others idle).
     txs.begin(c(1), 10);
@@ -117,10 +183,17 @@ fn victim_abort_then_split_keeps_remainder_visible() {
     let r = m.access(c(0), MemOp::Gather(LIST), DESC, &mut txs);
     assert!(r.self_abort.is_none());
     assert_eq!(r.value, NODE_A.raw(), "core 0 takes the head A");
-    assert!(!txs.entry(c(1)).active, "core 1 must have been victim-aborted");
+    assert!(
+        !txs.entry(c(1)).active,
+        "core 1 must have been victim-aborted"
+    );
     // Core 1 retry: the remainder (B) must be visible.
     txs.begin(c(1), 10);
     let v = m.access(c(1), MemOp::LoadL(LIST), DESC, &mut txs).value;
-    assert_eq!(v, NODE_B.raw(), "split remainder must be visible to the victim's retry");
+    assert_eq!(
+        v,
+        NODE_B.raw(),
+        "split remainder must be visible to the victim's retry"
+    );
     m.check_invariants().unwrap();
 }

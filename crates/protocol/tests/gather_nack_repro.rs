@@ -6,7 +6,9 @@ fn table() -> LabelTable {
     let mut t = LabelTable::new();
     t.register(
         LabelDef::new("ADD", LineData::zeroed(), |_, dst, src| {
-            for i in 0..WORDS_PER_LINE { dst[i] = dst[i].wrapping_add(src[i]); }
+            for i in 0..WORDS_PER_LINE {
+                dst[i] = dst[i].wrapping_add(src[i]);
+            }
         })
         .with_split(|_, local, out, n| {
             for i in 0..WORDS_PER_LINE {
@@ -16,17 +18,23 @@ fn table() -> LabelTable {
                 local[i] = v - d;
             }
         }),
-    ).unwrap();
+    )
+    .unwrap();
     t
 }
 
 const ADD: commtm_mem::LabelId = commtm_mem::LabelId::new(0);
 const A: Addr = Addr::new(0x1000);
-fn c(i: usize) -> CoreId { CoreId::new(i) }
+fn c(i: usize) -> CoreId {
+    CoreId::new(i)
+}
 
 #[test]
 fn nacked_gather_retains_donations_visibly() {
-    let (mut m, mut txs) = (MemSystem::new(ProtoConfig::paper_with_cores(4), table()), TxTable::new(4));
+    let (mut m, mut txs) = (
+        MemSystem::new(ProtoConfig::paper_with_cores(4), table()),
+        TxTable::new(4),
+    );
     m.poke_word(A, 0);
     // Core 0: committed value 12 in its U copy.
     m.access(c(0), MemOp::LoadL(ADD), A, &mut txs);
@@ -47,6 +55,7 @@ fn nacked_gather_retains_donations_visibly() {
     assert_eq!(v, 4, "retained donation must be visible to the retry");
     m.check_invariants().unwrap();
     // Total conserved.
-    m.commit_core(c(1)); txs.end(c(1));
+    m.commit_core(c(1));
+    txs.end(c(1));
     assert_eq!(m.access(c(3), MemOp::Load, A, &mut txs).value, 19);
 }

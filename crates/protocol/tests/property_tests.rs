@@ -35,11 +35,19 @@ const ADD: commtm_mem::LabelId = commtm_mem::LabelId::new(0);
 #[derive(Clone, Debug)]
 enum Action {
     /// `counter += delta` via labeled load + store at a core.
-    LabeledAdd { core: usize, word: usize, delta: u64 },
+    LabeledAdd {
+        core: usize,
+        word: usize,
+        delta: u64,
+    },
     /// Plain read (forces a reduction) at a core.
     PlainRead { core: usize, word: usize },
     /// Plain overwrite at a core.
-    PlainWrite { core: usize, word: usize, value: u64 },
+    PlainWrite {
+        core: usize,
+        word: usize,
+        value: u64,
+    },
     /// Gather at a core (redistributes, must not change the total).
     Gather { core: usize, word: usize },
 }
@@ -102,7 +110,7 @@ proptest! {
             let v = m.access(CoreId::new(0), MemOp::Load, base.offset_words(w as u64), &mut txs).value;
             prop_assert_eq!(v, *want, "word {} must fold to the oracle", w);
         }
-        m.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        m.check_invariants().map_err(TestCaseError::fail)?;
     }
 
     /// Transactional counter mixes: committed increments are exactly
@@ -115,14 +123,12 @@ proptest! {
         let mut txs = TxTable::new(3);
         let addr = Addr::new(0x8000);
         let mut committed = 0u64;
-        let mut ts = 1u64;
 
-        for (core, delta) in schedule {
+        for (step, (core, delta)) in schedule.into_iter().enumerate() {
             let c = CoreId::new(core);
             // One short transaction per step (sequentialized here; conflict
             // paths are exercised by the engine tests).
-            txs.begin(c, ts);
-            ts += 1;
+            txs.begin(c, step as u64 + 1);
             let v = m.access(c, MemOp::LoadL(ADD), addr, &mut txs).value;
             let r = m.access(c, MemOp::StoreL(ADD, v.wrapping_add(delta)), addr, &mut txs);
             if r.self_abort.is_none() && txs.entry(c).active {

@@ -26,13 +26,15 @@ fn add_label_table() -> LabelTable {
         }),
     )
     .unwrap();
-    t.register(
-        LabelDef::new("MIN", LineData::splat(u64::MAX), |_, dst, src| {
+    t.register(LabelDef::new(
+        "MIN",
+        LineData::splat(u64::MAX),
+        |_, dst, src| {
             for i in 0..WORDS_PER_LINE {
                 dst[i] = dst[i].min(src[i]);
             }
-        }),
-    )
+        },
+    ))
     .unwrap();
     t
 }
@@ -56,7 +58,10 @@ fn getu_case1_first_requester_receives_data() {
     let (mut m, mut txs) = sys(4);
     m.poke_word(A, 24);
     let r = m.access(c(0), MemOp::LoadL(ADD), A, &mut txs);
-    assert_eq!(r.value, 24, "Fig. 4a: first GETU requester obtains the data");
+    assert_eq!(
+        r.value, 24,
+        "Fig. 4a: first GETU requester obtains the data"
+    );
     assert!(r.self_abort.is_none());
     assert_eq!(m.line_state(c(0), A.line()).0, CohState::U);
     m.check_invariants().unwrap();
@@ -68,7 +73,10 @@ fn getu_case4_same_label_sharer_gets_identity() {
     m.poke_word(A, 24);
     m.access(c(0), MemOp::LoadL(ADD), A, &mut txs);
     let r = m.access(c(1), MemOp::LoadL(ADD), A, &mut txs);
-    assert_eq!(r.value, 0, "same-label sharers initialize with the identity value");
+    assert_eq!(
+        r.value, 0,
+        "same-label sharers initialize with the identity value"
+    );
     assert_eq!(m.line_state(c(1), A.line()).0, CohState::U);
     m.check_invariants().unwrap();
 }
@@ -151,7 +159,10 @@ fn older_reader_aborts_younger_labeled_writer() {
     assert!(r.self_abort.is_none());
     assert_eq!(
         r.events,
-        vec![ProtoEvent::Aborted { core: c(1), cause: AbortKind::ReadAfterWrite }]
+        vec![ProtoEvent::Aborted {
+            core: c(1),
+            cause: AbortKind::ReadAfterWrite
+        }]
     );
     assert_eq!(r.value, 0, "speculative labeled update must not be visible");
     assert!(!txs.entry(c(1)).active);
@@ -261,7 +272,10 @@ fn gather_redistributes_value_without_leaving_u() {
     let r = m.access(c(2), MemOp::Gather(ADD), A, &mut txs);
     assert!(r.self_abort.is_none());
     let expected = 19u64.div_ceil(4) + 16u64.div_ceil(4); // 5 + 4
-    assert_eq!(r.value, expected, "Fig. 8: donations accumulate at the requester");
+    assert_eq!(
+        r.value, expected,
+        "Fig. 8: donations accumulate at the requester"
+    );
     // Everyone stays in U.
     for i in 0..4 {
         assert_eq!(m.line_state(c(i), A.line()).0, CohState::U, "core {i}");
@@ -286,7 +300,10 @@ fn gather_split_conflicts_with_speculative_toucher_by_timestamp() {
     m.access(c(0), MemOp::LoadL(ADD), A, &mut txs);
     let r = m.access(c(0), MemOp::Gather(ADD), A, &mut txs);
     assert_eq!(r.self_abort, Some(AbortKind::GatherAfterLabeled));
-    assert!(txs.entry(c(1)).active, "older transaction survives the gather");
+    assert!(
+        txs.entry(c(1)).active,
+        "older transaction survives the gather"
+    );
     m.commit_core(c(1));
     txs.end(c(1));
     m.check_invariants().unwrap();
@@ -340,7 +357,10 @@ fn abort_rolls_back_speculative_plain_writes() {
     assert_eq!(r.value, 10, "aborted speculative store must not be visible");
     assert_eq!(
         r.events,
-        vec![ProtoEvent::Aborted { core: c(0), cause: AbortKind::ReadAfterWrite }]
+        vec![ProtoEvent::Aborted {
+            core: c(0),
+            cause: AbortKind::ReadAfterWrite
+        }]
     );
     m.check_invariants().unwrap();
 }
@@ -376,8 +396,7 @@ fn u_state_counts_as_getu_traffic() {
 fn capacity_eviction_of_speculative_line_aborts() {
     let cfg = ProtoConfig::tiny(2);
     let l1_lines = cfg.l1.lines();
-    let (mut m, mut txs) =
-        (MemSystem::new(cfg, add_label_table()), TxTable::new(2));
+    let (mut m, mut txs) = (MemSystem::new(cfg, add_label_table()), TxTable::new(2));
     txs.begin(c(0), 1);
     // Touch more distinct lines than the L1 can hold.
     let mut aborted = false;
@@ -390,7 +409,10 @@ fn capacity_eviction_of_speculative_line_aborts() {
             break;
         }
     }
-    assert!(aborted, "overflowing the L1 with speculative data must abort");
+    assert!(
+        aborted,
+        "overflowing the L1 with speculative data must abort"
+    );
     m.check_invariants().unwrap();
 }
 
@@ -451,13 +473,17 @@ fn word_neighbors_within_line_are_independent() {
 fn handler_touching_reducible_data_panics() {
     let mut t = LabelTable::new();
     let poison = Addr::new(0x9000);
-    t.register(LabelDef::new("BAD", LineData::zeroed(), move |ops, dst, src| {
-        // Touch another reducible line from inside the handler.
-        ops.read(poison);
-        for i in 0..WORDS_PER_LINE {
-            dst[i] = dst[i].wrapping_add(src[i]);
-        }
-    }))
+    t.register(LabelDef::new(
+        "BAD",
+        LineData::zeroed(),
+        move |ops, dst, src| {
+            // Touch another reducible line from inside the handler.
+            ops.read(poison);
+            for i in 0..WORDS_PER_LINE {
+                dst[i] = dst[i].wrapping_add(src[i]);
+            }
+        },
+    ))
     .unwrap();
     let cfg = ProtoConfig::paper_with_cores(4);
     let mut m = MemSystem::new(cfg, t);
@@ -480,7 +506,10 @@ fn latency_orders_sanely() {
     let cold = m.access(c(0), MemOp::Load, A, &mut txs).latency;
     // L1 hit.
     let hit = m.access(c(0), MemOp::Load, A, &mut txs).latency;
-    assert!(cold >= m.config().mem_latency, "cold miss pays memory latency");
+    assert!(
+        cold >= m.config().mem_latency,
+        "cold miss pays memory latency"
+    );
     assert_eq!(hit, 0, "L1 hits are covered by the 1-cycle issue cost");
     // L2 miss served by L3 (warm): another core reads the same line.
     let warm = m.access(c(1), MemOp::Load, A, &mut txs).latency;

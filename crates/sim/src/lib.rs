@@ -35,5 +35,5 @@ mod report;
 
 pub use commtm_htm::{CoreStats, HtmConfig, Scheme};
 pub use commtm_protocol::ProtoConfig;
-pub use machine::{Machine, MachineConfig, SimError};
+pub use machine::{Machine, MachineConfig, SimError, Tuning};
 pub use report::{CycleBreakdown, RunReport};

@@ -47,6 +47,66 @@ impl MachineConfig {
         self.proto.seed = seed ^ 0x9E37_79B9;
         self
     }
+
+    /// Applies any set fields of a [`Tuning`] over this configuration.
+    pub fn apply_tuning(&mut self, t: &Tuning) {
+        if let Some(v) = t.backoff_base {
+            self.htm.backoff_base = v;
+        }
+        if let Some(v) = t.backoff_cap {
+            self.htm.backoff_cap = v;
+        }
+        if let Some(v) = t.tx_overhead {
+            self.htm.tx_overhead = v;
+        }
+        if let Some(v) = t.l2_latency {
+            self.proto.l2_latency = v;
+        }
+        if let Some(v) = t.l3_latency {
+            self.proto.l3_latency = v;
+        }
+        if let Some(v) = t.mem_latency {
+            self.proto.mem_latency = v;
+        }
+        if let Some(v) = t.reduce_cycles {
+            self.proto.reduce_cycles = v;
+        }
+        if let Some(v) = t.split_cycles {
+            self.proto.split_cycles = v;
+        }
+        if let Some(v) = t.max_cycles {
+            self.max_cycles = v;
+        }
+    }
+}
+
+/// Optional overrides of protocol and HTM parameters, applied on top of a
+/// [`MachineConfig`]. Unset fields keep the paper's Table I defaults.
+///
+/// Experiment sweeps (the `commtm-lab` crate) carry one `Tuning` per
+/// scenario so that every workload can run on a perturbed machine —
+/// e.g. slower memory, cheaper reductions, different backoff — without the
+/// workload code knowing about the knobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tuning {
+    /// Base window (cycles) for randomized exponential backoff.
+    pub backoff_base: Option<u64>,
+    /// Cap on the backoff exponent.
+    pub backoff_cap: Option<u32>,
+    /// Fixed cycles charged per transaction attempt.
+    pub tx_overhead: Option<u64>,
+    /// L2 access latency in cycles.
+    pub l2_latency: Option<u64>,
+    /// L3 bank access latency in cycles.
+    pub l3_latency: Option<u64>,
+    /// Main memory access latency in cycles.
+    pub mem_latency: Option<u64>,
+    /// Cost of merging one forwarded line in a reduction handler.
+    pub reduce_cycles: Option<u64>,
+    /// Cost of running one user-defined splitter.
+    pub split_cycles: Option<u64>,
+    /// Safety valve: abort the run past this many cycles.
+    pub max_cycles: Option<u64>,
 }
 
 /// Simulation failure.
@@ -101,7 +161,14 @@ impl Machine {
         let cores = (0..cfg.threads).map(|_| None).collect();
         // Simulated data lives above the first 64KB (avoids the null page).
         let heap = Heap::new(Addr::new(0x1_0000), 1 << 40);
-        Machine { cfg, sys, txs, cores, heap, next_ts: 1 }
+        Machine {
+            cfg,
+            sys,
+            txs,
+            cores,
+            heap,
+            next_ts: 1,
+        }
     }
 
     /// The machine configuration.
@@ -136,7 +203,11 @@ impl Machine {
         user: impl std::any::Any + Send,
     ) {
         let core = CoreId::new(thread);
-        let seed = self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(thread as u64);
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(thread as u64);
         self.cores[thread] = Some(CoreExec::new(core, program, user, seed, &self.cfg.htm));
     }
 
@@ -165,15 +236,23 @@ impl Machine {
         let mut events: Vec<ProtoEvent> = Vec::new();
         while let Some(Reverse((_, idx))) = heap.pop() {
             let mut core = self.cores[idx].take().expect("core present");
-            let result =
-                core.step(&mut self.sys, &mut self.txs, &self.cfg.htm, &mut self.next_ts, &mut events);
+            let result = core.step(
+                &mut self.sys,
+                &mut self.txs,
+                &self.cfg.htm,
+                &mut self.next_ts,
+                &mut events,
+            );
             let clock = core.clock();
             self.cores[idx] = Some(core);
 
             // Deliver asynchronous aborts to their victims.
             for ev in events.drain(..) {
                 match ev {
-                    ProtoEvent::Aborted { core: victim, cause } => {
+                    ProtoEvent::Aborted {
+                        core: victim,
+                        cause,
+                    } => {
                         let v = self.cores[victim.index()]
                             .as_mut()
                             .expect("victim core exists");
@@ -190,7 +269,10 @@ impl Machine {
             }
         }
 
-        debug_assert!(self.sys.check_invariants().is_ok(), "post-run invariant violation");
+        debug_assert!(
+            self.sys.check_invariants().is_ok(),
+            "post-run invariant violation"
+        );
         Ok(self.report())
     }
 
@@ -202,21 +284,22 @@ impl Machine {
             .iter()
             .map(|c| c.as_ref().map(|c| c.stats().clone()).unwrap_or_default())
             .collect();
-        let total_cycles =
-            per_core.iter().map(|s| s.finish_cycle).max().unwrap_or(0);
+        let total_cycles = per_core.iter().map(|s| s.finish_cycle).max().unwrap_or(0);
         RunReport::new(total_cycles, per_core, self.sys.stats().clone())
     }
 
     /// Coherently reads a word after a run (triggers reductions as
     /// needed), from core 0's perspective, outside any transaction.
     pub fn read_word(&mut self, addr: Addr) -> u64 {
-        self.sys.read_word_coherent(CoreId::new(0), addr, &mut self.txs)
+        self.sys
+            .read_word_coherent(CoreId::new(0), addr, &mut self.txs)
     }
 
     /// Coherently writes a word outside any transaction (rarely needed;
     /// prefer [`Machine::poke`] before the run).
     pub fn write_word(&mut self, addr: Addr, value: u64) {
-        self.sys.access(CoreId::new(0), MemOp::Store(value), addr, &mut self.txs);
+        self.sys
+            .access(CoreId::new(0), MemOp::Store(value), addr, &mut self.txs);
     }
 
     /// Borrows a core's execution environment (post-run user state
@@ -226,7 +309,10 @@ impl Machine {
     ///
     /// Panics if the thread has no program installed.
     pub fn env(&self, thread: usize) -> &commtm_tx::Env {
-        self.cores[thread].as_ref().expect("program installed").env()
+        self.cores[thread]
+            .as_ref()
+            .expect("program installed")
+            .env()
     }
 
     /// Audits protocol invariants (see

@@ -23,7 +23,10 @@ impl CycleBreakdown {
 }
 
 /// The result of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// Derives `Eq` so that determinism can be asserted directly: two runs of
+/// the same seeded configuration must produce identical reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Makespan: the cycle at which the last core finished its program.
     pub total_cycles: u64,
@@ -35,7 +38,11 @@ pub struct RunReport {
 
 impl RunReport {
     pub(crate) fn new(total_cycles: u64, per_core: Vec<CoreStats>, proto: ProtoStats) -> Self {
-        RunReport { total_cycles, per_core, proto }
+        RunReport {
+            total_cycles,
+            per_core,
+            proto,
+        }
     }
 
     /// Engine statistics summed over all cores.
@@ -103,7 +110,11 @@ mod tests {
 
     #[test]
     fn breakdown_totals() {
-        let b = CycleBreakdown { nontx: 1, committed: 2, aborted: 3 };
+        let b = CycleBreakdown {
+            nontx: 1,
+            committed: 2,
+            aborted: 3,
+        };
         assert_eq!(b.total(), 6);
     }
 

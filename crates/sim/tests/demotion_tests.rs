@@ -3,7 +3,7 @@
 //! once and retries with its labeled operations demoted to conventional
 //! ones — "the transaction does not encounter this case again".
 
-use commtm_mem::{Addr, LineData, WORDS_PER_LINE};
+use commtm_mem::{LineData, WORDS_PER_LINE};
 use commtm_protocol::{LabelDef, LabelTable};
 use commtm_sim::{Machine, MachineConfig, Scheme};
 use commtm_tx::{Ctl, Program};
@@ -69,14 +69,21 @@ fn self_demotion_retries_and_commits_correctly() {
     m.set_program(0, p0.build(), Vec::<u64>::new());
 
     let report = m.run().unwrap();
-    assert_eq!(m.read_word(counter), 2 * iters, "every increment applied exactly once");
+    assert_eq!(
+        m.read_word(counter),
+        2 * iters,
+        "every increment applied exactly once"
+    );
     // Each snapshot is a committed full value that includes the
     // transaction's own increment.
     let snaps = m.env(0).user::<Vec<u64>>();
     assert_eq!(snaps.len() as u64, iters);
     let mut prev = 0;
     for &s in snaps {
-        assert!(s >= 1 && s >= prev, "snapshots monotone and include own update");
+        assert!(
+            s >= 1 && s >= prev,
+            "snapshots monotone and include own update"
+        );
         prev = s;
     }
     // The demotion path causes aborts but never more than one per
@@ -110,7 +117,11 @@ fn baseline_never_issues_getu() {
     }
     let report = m.run().unwrap();
     assert_eq!(m.read_word(counter), 120);
-    assert_eq!(report.proto_totals().getu, 0, "baseline must demote all labeled ops");
+    assert_eq!(
+        report.proto_totals().getu,
+        0,
+        "baseline must demote all labeled ops"
+    );
     assert_eq!(report.proto_totals().gathers, 0);
     // The program still *counts* as labeled for Table II's fraction metric.
     assert!(report.labeled_fraction() > 0.9);

@@ -49,7 +49,11 @@ fn run_counter(threads: usize, iters: u64, scheme: Scheme) -> (Machine, commtm_s
     }
     let report = m.run().unwrap();
     let v = m.read_word(counter);
-    assert_eq!(v, threads as u64 * iters, "all increments must be applied exactly once");
+    assert_eq!(
+        v,
+        threads as u64 * iters,
+        "all increments must be applied exactly once"
+    );
     m.check_invariants().unwrap();
     (m, report)
 }
@@ -65,7 +69,11 @@ fn commtm_eliminates_counter_aborts_baseline_does_not() {
     let (_, base) = run_counter(8, 40, Scheme::Baseline);
     let (_, comm) = run_counter(8, 40, Scheme::CommTm);
     assert!(base.aborts() > 0, "contended baseline counter must abort");
-    assert_eq!(comm.aborts(), 0, "CommTM commutative increments never conflict");
+    assert_eq!(
+        comm.aborts(),
+        0,
+        "CommTM commutative increments never conflict"
+    );
     assert!(
         comm.total_cycles < base.total_cycles,
         "CommTM must beat the baseline on a contended counter \

@@ -96,7 +96,10 @@ impl<'a, 'p> TxCtx<'a, 'p> {
         }
         if self.pos < self.log.len() {
             let LogEntry::Rand(v) = self.log[self.pos] else {
-                panic!("nondeterministic block: expected rand at replay position {}", self.pos)
+                panic!(
+                    "nondeterministic block: expected rand at replay position {}",
+                    self.pos
+                )
             };
             self.pos += 1;
             return v;
@@ -145,7 +148,8 @@ impl<'a, 'p> TxCtx<'a, 'p> {
             return;
         }
         self.defers.push(Box::new(move |u: &mut (dyn Any + Send)| {
-            f(u.downcast_mut::<T>().expect("user state type mismatch in defer"))
+            f(u.downcast_mut::<T>()
+                .expect("user state type mismatch in defer"))
         }));
     }
 
@@ -162,7 +166,10 @@ impl<'a, 'p> TxCtx<'a, 'p> {
         }
         if self.pos < self.log.len() {
             let LogEntry::Op(logged, value) = self.log[self.pos] else {
-                panic!("nondeterministic block: expected an operation at position {}", self.pos)
+                panic!(
+                    "nondeterministic block: expected an operation at position {}",
+                    self.pos
+                )
             };
             assert_eq!(
                 logged, op,
@@ -225,7 +232,9 @@ impl<'a> CtlCtx<'a> {
     ///
     /// Panics if `T` is not the stored type.
     pub fn user<T: Any>(&self) -> &T {
-        self.user.downcast_ref::<T>().expect("user state type mismatch")
+        self.user
+            .downcast_ref::<T>()
+            .expect("user state type mismatch")
     }
 
     /// Mutably borrows the user state.
@@ -234,7 +243,9 @@ impl<'a> CtlCtx<'a> {
     ///
     /// Panics if `T` is not the stored type.
     pub fn user_mut<T: Any>(&mut self) -> &mut T {
-        self.user.downcast_mut::<T>().expect("user state type mismatch")
+        self.user
+            .downcast_mut::<T>()
+            .expect("user state type mismatch")
     }
 
     /// Draws a random word from the core's seeded generator.
@@ -255,6 +266,8 @@ impl<'a> CtlCtx<'a> {
 
 impl std::fmt::Debug for CtlCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CtlCtx").field("regs", &self.regs).finish_non_exhaustive()
+        f.debug_struct("CtlCtx")
+            .field("regs", &self.regs)
+            .finish_non_exhaustive()
     }
 }

@@ -117,13 +117,17 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(&mut self) -> Program {
-        Program { blocks: std::mem::take(&mut self.blocks) }
+        Program {
+            blocks: std::mem::take(&mut self.blocks),
+        }
     }
 }
 
 impl fmt::Debug for ProgramBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ProgramBuilder").field("blocks", &self.blocks.len()).finish()
+        f.debug_struct("ProgramBuilder")
+            .field("blocks", &self.blocks.len())
+            .finish()
     }
 }
 

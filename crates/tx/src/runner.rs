@@ -56,7 +56,10 @@ impl Env {
     /// Creates an environment with `nregs` zeroed registers and the given
     /// user state.
     pub fn new(nregs: usize, user: impl Any + Send) -> Self {
-        Env { regs: vec![0; nregs], user: Box::new(user) }
+        Env {
+            regs: vec![0; nregs],
+            user: Box::new(user),
+        }
     }
 
     /// Borrows the user state.
@@ -65,7 +68,9 @@ impl Env {
     ///
     /// Panics if `T` is not the stored type.
     pub fn user<T: Any>(&self) -> &T {
-        self.user.downcast_ref::<T>().expect("user state type mismatch")
+        self.user
+            .downcast_ref::<T>()
+            .expect("user state type mismatch")
     }
 
     /// Mutably borrows the user state (Ctl blocks and deferred actions
@@ -75,7 +80,9 @@ impl Env {
     ///
     /// Panics if `T` is not the stored type.
     pub fn user_mut<T: Any>(&mut self) -> &mut T {
-        self.user.downcast_mut::<T>().expect("user state type mismatch")
+        self.user
+            .downcast_mut::<T>()
+            .expect("user state type mismatch")
     }
 
     /// Splits the environment into registers and user state for contexts
@@ -96,7 +103,9 @@ impl Env {
 
 impl fmt::Debug for Env {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Env").field("regs", &self.regs).finish_non_exhaustive()
+        f.debug_struct("Env")
+            .field("regs", &self.regs)
+            .finish_non_exhaustive()
     }
 }
 
@@ -171,12 +180,7 @@ impl BlockRunner {
     }
 
     /// Runs one pass of the block.
-    pub fn step(
-        &mut self,
-        body: &BlockFn,
-        env: &mut Env,
-        port: &mut dyn MemPort,
-    ) -> StepOutcome {
+    pub fn step(&mut self, body: &BlockFn, env: &mut Env, port: &mut dyn MemPort) -> StepOutcome {
         let saved_regs = env.regs.clone();
         let mut ctx = TxCtx::new(&mut self.log, env, port);
         body(&mut ctx);

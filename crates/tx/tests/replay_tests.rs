@@ -22,7 +22,11 @@ impl MemPort for MockPort {
         let n = self.ops.len();
         self.ops.push(op);
         if self.abort_on_op == Some(n) {
-            return OpResult { value: 0, latency: 3, aborted: true };
+            return OpResult {
+                value: 0,
+                latency: 3,
+                aborted: true,
+            };
         }
         let value = match op {
             TxOp::Load(a) | TxOp::LoadL(_, a) | TxOp::Gather(_, a) => {
@@ -33,7 +37,11 @@ impl MemPort for MockPort {
                 v
             }
         };
-        OpResult { value, latency: 3, aborted: false }
+        OpResult {
+            value,
+            latency: 3,
+            aborted: false,
+        }
     }
 
     fn rand(&mut self) -> u64 {
@@ -60,10 +68,19 @@ fn one_new_op_per_step() {
         t.store(B, v + 1);
         t.store(A, v + 2);
     });
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Yield { .. }
+    ));
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Yield { .. }
+    ));
     // Third pass performs the last op and completes.
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ));
     // Exactly three real operations hit the port, in program order.
     assert_eq!(
         port.ops,
@@ -87,7 +104,10 @@ fn loads_replay_logged_values_not_memory() {
     // guarantees this is only possible for values conflict detection
     // protects).
     port.mem.insert(A.raw(), 99);
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ));
     assert_eq!(port.mem[&B.raw()], 7);
 }
 
@@ -102,10 +122,22 @@ fn registers_roll_back_on_incomplete_pass_and_commit_on_done() {
         t.load(A);
         t.load(B);
     });
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
-    assert_eq!(env.regs[0], 0, "register effects of incomplete passes are discarded");
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
-    assert_eq!(env.regs[0], 1, "completed block commits register effects exactly once");
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Yield { .. }
+    ));
+    assert_eq!(
+        env.regs[0], 0,
+        "register effects of incomplete passes are discarded"
+    );
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ));
+    assert_eq!(
+        env.regs[0], 1,
+        "completed block commits register effects exactly once"
+    );
 }
 
 #[test]
@@ -118,14 +150,19 @@ fn deferred_user_writes_apply_exactly_once() {
         t.load(B);
         t.defer(|count: &mut u64| *count += 1);
     });
-    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    while !matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ) {}
     assert_eq!(*env.user::<u64>(), 1);
 }
 
 #[test]
 fn abort_discards_pass_and_resets_cleanly() {
-    let mut port = MockPort::default();
-    port.abort_on_op = Some(1); // the second real op aborts
+    let mut port = MockPort {
+        abort_on_op: Some(1), // the second real op aborts
+        ..MockPort::default()
+    };
     let mut env = Env::new(1, 0u64);
     let mut runner = BlockRunner::new();
     let blk = body(|t| {
@@ -134,15 +171,24 @@ fn abort_discards_pass_and_resets_cleanly() {
         t.store(B, 1);
         t.defer(|c: &mut u64| *c += 1);
     });
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Yield { .. }));
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Yield { .. }
+    ));
     let out = runner.step(&blk, &mut env, &mut port);
     assert!(matches!(out, StepOutcome::Abort { .. }));
-    assert_eq!(env.regs[0], 0, "aborted attempt must not leak register writes");
+    assert_eq!(
+        env.regs[0], 0,
+        "aborted attempt must not leak register writes"
+    );
     assert_eq!(*env.user::<u64>(), 0, "aborted attempt must not run defers");
     // Restart: the runner re-executes from scratch.
     runner.reset();
     port.abort_on_op = None;
-    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    while !matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ) {}
     assert_eq!(env.regs[0], 42);
     assert_eq!(*env.user::<u64>(), 1);
 }
@@ -160,7 +206,10 @@ fn rand_is_memoized_within_an_attempt() {
         t.set_reg(0, r1);
         t.set_reg(1, r2);
     });
-    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    while !matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ) {}
     // r1 drawn once (=1), r2 once (=2), despite multiple replays.
     assert_eq!(env.regs[0], 1);
     assert_eq!(env.regs[1], 2);
@@ -191,7 +240,7 @@ fn work_cycles_charged_exactly_once() {
     // the blocking point), pass 2 performs load B and completes. Work is
     // charged exactly once (15), ops once each (2 x 3), issue once per
     // pass (2 x 1).
-    let issue_and_latency = 2 * 1 + 2 * 3;
+    let issue_and_latency = 2 + 2 * 3;
     assert_eq!(total, issue_and_latency + 15);
 }
 
@@ -215,7 +264,10 @@ fn pointer_chase_terminates_under_zero_reads() {
         t.set_reg(0, hops);
     });
     let mut steps = 0;
-    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {
+    while !matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ) {
         steps += 1;
         assert!(steps < 100, "replay must converge");
     }
@@ -249,7 +301,10 @@ fn empty_block_completes_immediately() {
     let mut env = Env::new(1, ());
     let mut runner = BlockRunner::new();
     let blk = body(|_| {});
-    assert!(matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }));
+    assert!(matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ));
     assert!(port.ops.is_empty());
 }
 
@@ -264,7 +319,10 @@ fn labeled_ops_flow_through_port() {
         t.store_l(l, A, v + 1);
         t.load_gather(l, A);
     });
-    while !matches!(runner.step(&blk, &mut env, &mut port), StepOutcome::Done { .. }) {}
+    while !matches!(
+        runner.step(&blk, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ) {}
     assert_eq!(
         port.ops,
         vec![TxOp::LoadL(l, A), TxOp::StoreL(l, A, 1), TxOp::Gather(l, A)]

@@ -36,7 +36,11 @@ pub struct Cfg {
 impl Cfg {
     /// A scaled-down road-like default.
     pub fn new(base: BaseCfg) -> Self {
-        Cfg { base, side: 12, diagonal_pct: 30 }
+        Cfg {
+            base,
+            side: 12,
+            diagonal_pct: 30,
+        }
     }
 }
 
@@ -74,14 +78,18 @@ pub fn road_graph(side: usize, diagonal_pct: u64, seed: u64) -> Graph {
         let j = rng.random_range(0..=i as u64) as usize;
         weights.swap(i, j);
     }
-    let edges = edges.into_iter().zip(weights).map(|((u, v), w)| (u, v, w)).collect();
+    let edges = edges
+        .into_iter()
+        .zip(weights)
+        .map(|((u, v), w)| (u, v, w))
+        .collect();
     Graph { nodes, edges }
 }
 
 /// The set of edge indices in the (unique) MST, by Kruskal.
 pub fn kruskal_set(g: &Graph) -> std::collections::HashSet<usize> {
     let mut parent: Vec<usize> = (0..g.nodes).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -111,7 +119,7 @@ pub fn run_collect(cfg: &Cfg) -> std::collections::HashSet<usize> {
 /// Kruskal's algorithm on the host graph (the oracle).
 pub fn kruskal_weight(g: &Graph) -> u64 {
     let mut parent: Vec<usize> = (0..g.nodes).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -172,7 +180,7 @@ fn run_inner(cfg: &Cfg, check: bool) -> (RunReport, std::collections::HashSet<us
     let oracle = kruskal_weight(&g);
     let (nodes, nedges) = (g.nodes as u64, g.edges.len() as u64);
 
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let oput = b.register_label(labels::oput()).expect("label budget");
     let min = b.register_label(labels::min()).expect("label budget");
     let max = b.register_label(labels::max()).expect("label budget");
@@ -345,7 +353,11 @@ fn run_inner(cfg: &Cfg, check: bool) -> (RunReport, std::collections::HashSet<us
     }
     if check {
         assert_eq!(got, oracle, "MST weight must match Kruskal");
-        assert_eq!(marked.len() as u64, nodes - 1, "a connected graph's MST has n-1 edges");
+        assert_eq!(
+            marked.len() as u64,
+            nodes - 1,
+            "a connected graph's MST has n-1 edges"
+        );
         m.check_invariants().expect("coherence invariants");
     }
     (report, marked)

@@ -31,7 +31,12 @@ pub struct Cfg {
 impl Cfg {
     /// A scaled default with the paper's roughly 10:1 duplicate ratio.
     pub fn new(base: BaseCfg) -> Self {
-        Cfg { base, segments: 600, unique: 64, buckets: 128 }
+        Cfg {
+            base,
+            segments: 600,
+            unique: 64,
+            buckets: 128,
+        }
     }
 }
 
@@ -55,7 +60,7 @@ const NODE_BYTES: u64 = 64; // key at +0, next at +8
 /// Panics if the set doesn't contain exactly the unique segments, or the
 /// remaining-space counter breaks conservation.
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
 
@@ -76,7 +81,11 @@ pub fn run(cfg: &Cfg) -> RunReport {
         use rand::{rngs::StdRng, RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(cfg.base.seed ^ 0x6765_6e6f);
         for i in 0..cfg.segments {
-            let u = if i < cfg.unique { i } else { rng.random_range(0..cfg.unique) };
+            let u = if i < cfg.unique {
+                i
+            } else {
+                rng.random_range(0..cfg.unique)
+            };
             let value = u.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1; // non-zero keys
             host_segments.push(value);
             m.poke(seg_stream.offset_words(i), value);
@@ -88,7 +97,9 @@ pub fn run(cfg: &Cfg) -> RunReport {
     for t in 0..threads {
         let lo = (cfg.segments as usize) * t / threads;
         let hi = (cfg.segments as usize) * (t + 1) / threads;
-        let pool = m.heap_mut().alloc(((hi - lo).max(1) as u64) * NODE_BYTES, 64);
+        let pool = m
+            .heap_mut()
+            .alloc(((hi - lo).max(1) as u64) * NODE_BYTES, 64);
         let mut p = Program::builder();
         if hi > lo {
             let pool_base = pool.raw();
@@ -170,7 +181,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
         }
     }
     let expected: std::collections::HashSet<u64> = host_segments.iter().copied().collect();
-    assert_eq!(found, expected, "set contents must equal the unique segments");
+    assert_eq!(
+        found, expected,
+        "set contents must equal the unique segments"
+    );
 
     let mut inserted = 0u64;
     let mut overflows = 0u64;
@@ -182,7 +196,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
         processed += s.inserted + s.duplicates + s.overflows;
     }
     assert_eq!(processed, cfg.segments);
-    assert_eq!(overflows, 0, "capacity has slack; overflow means lost space");
+    assert_eq!(
+        overflows, 0,
+        "capacity has slack; overflow means lost space"
+    );
     assert_eq!(inserted, expected.len() as u64);
     assert_eq!(
         m.read_word(remaining),

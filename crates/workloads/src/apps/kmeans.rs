@@ -35,7 +35,13 @@ pub struct Cfg {
 impl Cfg {
     /// A scaled-down default shaped like the paper's input.
     pub fn new(base: BaseCfg) -> Self {
-        Cfg { base, n: 256, d: 4, k: 8, iters: 3 }
+        Cfg {
+            base,
+            n: 256,
+            d: 4,
+            k: 8,
+            iters: 3,
+        }
     }
 }
 
@@ -56,7 +62,7 @@ const R_ITER: usize = 4;
 pub fn run(cfg: &Cfg) -> RunReport {
     assert!(cfg.k <= cfg.n, "need at least one point per cluster seed");
     assert!(cfg.d <= 16, "dimension cap for the assignment closure");
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let fpadd = b.register_label(labels::fp_add()).expect("label budget");
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
@@ -65,7 +71,9 @@ pub fn run(cfg: &Cfg) -> RunReport {
     let points = m.heap_mut().alloc(n as u64 * d as u64 * 8, 64);
     let assign = m.heap_mut().alloc(n as u64 * 8, 64);
     let centers = m.heap_mut().alloc(k as u64 * d as u64 * 8, 64);
-    let sums: Vec<Addr> = (0..k).map(|_| m.heap_mut().alloc(d as u64 * 8, 64)).collect();
+    let sums: Vec<Addr> = (0..k)
+        .map(|_| m.heap_mut().alloc(d as u64 * 8, 64))
+        .collect();
     let counts: Vec<Addr> = (0..k).map(|_| m.heap_mut().alloc_lines(1)).collect();
     let barrier = m.heap_mut().alloc_lines(1);
 
@@ -86,7 +94,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
     // Seed centers with the first k points.
     for c in 0..k {
         for dim in 0..d {
-            m.poke(centers.offset_words((c * d + dim) as u64), host_points[c * d + dim].to_bits());
+            m.poke(
+                centers.offset_words((c * d + dim) as u64),
+                host_points[c * d + dim].to_bits(),
+            );
         }
     }
 
@@ -201,7 +212,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
             let want = sums_h[cl * d + dim] / counts_h[cl] as f64;
             let got = f64::from_bits(m.read_word(centers.offset_words((cl * d + dim) as u64)));
             let tol = 1e-6 * want.abs().max(1.0);
-            assert!((got - want).abs() <= tol, "center[{cl}][{dim}]: got {got}, want {want}");
+            assert!(
+                (got - want).abs() <= tol,
+                "center[{cl}][{dim}]: got {got}, want {want}"
+            );
         }
     }
     m.check_invariants().expect("coherence invariants");

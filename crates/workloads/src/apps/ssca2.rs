@@ -33,7 +33,13 @@ pub struct Cfg {
 impl Cfg {
     /// A scaled-down default shaped like the paper's input.
     pub fn new(base: BaseCfg) -> Self {
-        Cfg { base, nodes: 1024, edges: 2048, batch: 16, work_per_edge: 24 }
+        Cfg {
+            base,
+            nodes: 1024,
+            edges: 2048,
+            batch: 16,
+            work_per_edge: 24,
+        }
     }
 }
 
@@ -47,7 +53,7 @@ const R_BATCH: usize = 1; // edges since last metadata update
 /// Panics if the per-node degrees don't sum to the edge count, or the
 /// global metadata counter disagrees.
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
 
@@ -129,11 +135,14 @@ pub fn run(cfg: &Cfg) -> RunReport {
     let report = m.run().expect("simulation");
 
     let total = m.read_word(total_edges);
-    assert_eq!(total, edges as u64, "global metadata counter must equal edge count");
+    assert_eq!(
+        total, edges as u64,
+        "global metadata counter must equal edge count"
+    );
     let mut sum = 0u64;
-    for u in 0..nodes {
+    for (u, &hd) in host_deg.iter().enumerate() {
         let dv = m.read_word(deg.offset_words(u as u64));
-        assert_eq!(dv, host_deg[u], "degree of node {u}");
+        assert_eq!(dv, hd, "degree of node {u}");
         sum += dv;
     }
     assert_eq!(sum, edges as u64);

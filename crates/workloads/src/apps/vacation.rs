@@ -39,7 +39,13 @@ pub struct Cfg {
 impl Cfg {
     /// A scaled default with the paper's mix.
     pub fn new(base: BaseCfg) -> Self {
-        Cfg { base, tasks: 600, items: 64, query_pct: 60, make_pct: 90 }
+        Cfg {
+            base,
+            tasks: 600,
+            items: 64,
+            query_pct: 60,
+            make_pct: 90,
+        }
     }
 }
 
@@ -63,23 +69,30 @@ const R_ITEM: usize = 3;
 /// Panics if any relation's free seats or remaining-slot counter disagree
 /// with the reservations actually held.
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
 
     let items = cfg.items;
     // Per relation: numFree array, price array, remaining-slot counter.
-    let num_free: Vec<Addr> =
-        (0..RELATIONS).map(|_| m.heap_mut().alloc(items * 8, 64)).collect();
-    let price: Vec<Addr> =
-        (0..RELATIONS).map(|_| m.heap_mut().alloc(items * 8, 64)).collect();
-    let slots: Vec<Addr> = (0..RELATIONS).map(|_| m.heap_mut().alloc_lines(1)).collect();
+    let num_free: Vec<Addr> = (0..RELATIONS)
+        .map(|_| m.heap_mut().alloc(items * 8, 64))
+        .collect();
+    let price: Vec<Addr> = (0..RELATIONS)
+        .map(|_| m.heap_mut().alloc(items * 8, 64))
+        .collect();
+    let slots: Vec<Addr> = (0..RELATIONS)
+        .map(|_| m.heap_mut().alloc_lines(1))
+        .collect();
     let seats_per_item = 4u64;
     let slot_capacity = cfg.tasks + 64;
     for r in 0..RELATIONS {
         for i in 0..items {
             m.poke(num_free[r].offset_words(i), seats_per_item);
-            m.poke(price[r].offset_words(i), 100 + (i * 7 + r as u64 * 13) % 900);
+            m.poke(
+                price[r].offset_words(i),
+                100 + (i * 7 + r as u64 * 13) % 900,
+            );
         }
         m.poke(slots[r], slot_capacity);
     }
@@ -181,7 +194,14 @@ pub fn run(cfg: &Cfg) -> RunReport {
                 }
             });
         }
-        m.set_program(t, p.build(), Book { held: vec![Vec::new(); RELATIONS], failed: 0 });
+        m.set_program(
+            t,
+            p.build(),
+            Book {
+                held: vec![Vec::new(); RELATIONS],
+                failed: 0,
+            },
+        );
     }
 
     let report = m.run().expect("simulation");
@@ -206,7 +226,11 @@ pub fn run(cfg: &Cfg) -> RunReport {
             );
         }
         let rem = m.read_word(slots[r]);
-        assert_eq!(rem + held_total, slot_capacity, "relation {r}: slot conservation");
+        assert_eq!(
+            rem + held_total,
+            slot_capacity,
+            "relation {r}: slot conservation"
+        );
     }
     m.check_invariants().expect("coherence invariants");
     report

@@ -228,7 +228,10 @@ mod tests {
             simheap::insert(&mut w, h, v);
         }
         assert_eq!(simheap::len(&mut w, h), 3);
-        assert!(!simheap::insert(&mut w, h, 1), "too-small values are rejected when full");
+        assert!(
+            !simheap::insert(&mut w, h, 1),
+            "too-small values are rejected when full"
+        );
     }
 
     #[test]

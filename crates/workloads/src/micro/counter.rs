@@ -31,7 +31,7 @@ impl Cfg {
 /// Panics if the final counter value differs from the number of committed
 /// increments (a lost or duplicated update).
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
     let counter = m.heap_mut().alloc_lines(1);
@@ -60,7 +60,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
 
     let report = m.run().expect("simulation");
     let v = m.read_word(counter);
-    assert_eq!(v, cfg.total_incs, "counter must equal the number of increments");
+    assert_eq!(
+        v, cfg.total_incs,
+        "counter must equal the number of increments"
+    );
     assert_eq!(report.commits(), cfg.total_incs, "one commit per increment");
     m.check_invariants().expect("coherence invariants");
     report

@@ -41,7 +41,12 @@ pub struct Cfg {
 impl Cfg {
     /// Creates a configuration.
     pub fn new(base: BaseCfg, total_ops: u64, mix: Mix) -> Self {
-        Cfg { base, total_ops, mix, warm_start: 0 }
+        Cfg {
+            base,
+            total_ops,
+            mix,
+            warm_start: 0,
+        }
     }
 
     /// Sets the warm-start population.
@@ -71,7 +76,7 @@ const NODE_BYTES: u64 = 64; // one line per node: next at +0, value at +8
 /// Panics if the surviving elements don't equal enqueues minus successful
 /// dequeues (in count and value sum).
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let list = b.register_label(labels::list()).expect("label budget");
     let mut m = b.build();
 
@@ -81,9 +86,7 @@ pub fn run(cfg: &Cfg) -> RunReport {
             let d = m.heap_mut().alloc_lines(1);
             (d, d.offset_words(1))
         }
-        Scheme::Baseline => {
-            (m.heap_mut().alloc_lines(1), m.heap_mut().alloc_lines(1))
-        }
+        Scheme::Baseline => (m.heap_mut().alloc_lines(1), m.heap_mut().alloc_lines(1)),
     };
 
     // Warm-start population: a pre-built chain behind the descriptor.
@@ -200,7 +203,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
         remaining_count += 1;
         remaining_sum = remaining_sum.wrapping_add(m.read_word(Addr::new(node + 8)));
         node = m.read_word(Addr::new(node));
-        assert!(remaining_count <= cfg.total_ops + cfg.warm_start, "list must be acyclic");
+        assert!(
+            remaining_count <= cfg.total_ops + cfg.warm_start,
+            "list must be acyclic"
+        );
     }
 
     let mut enq = 0u64;
@@ -214,7 +220,11 @@ pub fn run(cfg: &Cfg) -> RunReport {
         enq_sum = enq_sum.wrapping_add(s.enq_sum);
         deq_sum = deq_sum.wrapping_add(s.deq_sum);
     }
-    assert_eq!(remaining_count, cfg.warm_start + enq - deq, "length conservation");
+    assert_eq!(
+        remaining_count,
+        cfg.warm_start + enq - deq,
+        "length conservation"
+    );
     assert_eq!(
         remaining_sum,
         warm_sum.wrapping_add(enq_sum).wrapping_sub(deq_sum),
@@ -246,8 +256,16 @@ mod tests {
 
     #[test]
     fn commtm_beats_baseline_on_enqueues() {
-        let base = run(&Cfg::new(BaseCfg::new(8, Scheme::Baseline), 400, Mix::EnqueueOnly));
-        let comm = run(&Cfg::new(BaseCfg::new(8, Scheme::CommTm), 400, Mix::EnqueueOnly));
+        let base = run(&Cfg::new(
+            BaseCfg::new(8, Scheme::Baseline),
+            400,
+            Mix::EnqueueOnly,
+        ));
+        let comm = run(&Cfg::new(
+            BaseCfg::new(8, Scheme::CommTm),
+            400,
+            Mix::EnqueueOnly,
+        ));
         assert!(
             comm.total_cycles < base.total_cycles,
             "CommTM should win on concurrent enqueues ({} vs {})",

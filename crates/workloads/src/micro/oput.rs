@@ -38,7 +38,7 @@ struct Tally {
 /// Panics if the final pair is not the minimum-key pair over every
 /// committed put.
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let oput = b.register_label(labels::oput()).expect("label budget");
     let mut m = b.build();
     let pair = m.heap_mut().alloc_lines(1);
@@ -81,7 +81,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
         m.set_program(
             t,
             p.build(),
-            Tally { min_key: u64::MAX, min_val: 0 },
+            Tally {
+                min_key: u64::MAX,
+                min_val: 0,
+            },
         );
     }
 

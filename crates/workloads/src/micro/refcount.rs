@@ -50,7 +50,14 @@ pub struct Cfg {
 impl Cfg {
     /// The paper's parameters at a given op count.
     pub fn new(base: BaseCfg, variant: Variant, total_ops: u64) -> Self {
-        Cfg { base, variant, total_ops, objects: 16, initial_refs: 3, max_refs: 10 }
+        Cfg {
+            base,
+            variant,
+            total_ops,
+            objects: 16,
+            initial_refs: 3,
+            max_refs: 10,
+        }
     }
 }
 
@@ -71,13 +78,14 @@ struct Held {
 /// conservation makes impossible).
 pub fn run(cfg: &Cfg) -> RunReport {
     let scheme = cfg.variant.scheme();
-    let mut b = MachineBuilder::new(cfg.base.threads, scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder_for(scheme);
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
 
     // One counter per object, each on its own line.
-    let counters: Vec<Addr> =
-        (0..cfg.objects).map(|_| m.heap_mut().alloc_lines(1)).collect();
+    let counters: Vec<Addr> = (0..cfg.objects)
+        .map(|_| m.heap_mut().alloc_lines(1))
+        .collect();
     for &c in &counters {
         m.poke(c, cfg.initial_refs * cfg.base.threads as u64);
     }
@@ -148,7 +156,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
         m.set_program(
             t,
             p.build(),
-            Held { refs: vec![cfg.initial_refs; cfg.objects], failed_decrements: 0 },
+            Held {
+                refs: vec![cfg.initial_refs; cfg.objects],
+                failed_decrements: 0,
+            },
         );
     }
 
@@ -157,13 +168,19 @@ pub fn run(cfg: &Cfg) -> RunReport {
     // Conservation oracle: each counter equals the sum of references held,
     // and no decrement ever saw a zero global count.
     for (o, &c) in counters.iter().enumerate() {
-        let held: u64 = (0..cfg.base.threads).map(|t| m.env(t).user::<Held>().refs[o]).sum();
+        let held: u64 = (0..cfg.base.threads)
+            .map(|t| m.env(t).user::<Held>().refs[o])
+            .sum();
         let v = m.read_word(c);
         assert_eq!(v, held, "object {o}: counter must equal held references");
     }
-    let failed: u64 =
-        (0..cfg.base.threads).map(|t| m.env(t).user::<Held>().failed_decrements).sum();
-    assert_eq!(failed, 0, "conservation: a held reference implies a positive count");
+    let failed: u64 = (0..cfg.base.threads)
+        .map(|t| m.env(t).user::<Held>().failed_decrements)
+        .sum();
+    assert_eq!(
+        failed, 0,
+        "conservation: a held reference implies a positive count"
+    );
     m.check_invariants().expect("coherence invariants");
     report
 }
@@ -183,8 +200,14 @@ mod tests {
     #[test]
     fn gather_requests_are_issued() {
         let base = BaseCfg::new(8, Scheme::CommTm);
-        let r = run(&Cfg { objects: 2, ..Cfg::new(base, Variant::Gather, 800) });
-        assert!(r.core_totals().gather_ops > 0, "low counters should trigger gathers");
+        let r = run(&Cfg {
+            objects: 2,
+            ..Cfg::new(base, Variant::Gather, 800)
+        });
+        assert!(
+            r.core_totals().gather_ops > 0,
+            "low counters should trigger gathers"
+        );
     }
 
     #[test]

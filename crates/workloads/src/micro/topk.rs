@@ -24,7 +24,11 @@ pub struct Cfg {
 impl Cfg {
     /// Creates a configuration.
     pub fn new(base: BaseCfg, total_inserts: u64, k: u64) -> Self {
-        Cfg { base, total_inserts, k }
+        Cfg {
+            base,
+            total_inserts,
+            k,
+        }
     }
 }
 
@@ -35,7 +39,7 @@ impl Cfg {
 ///
 /// Panics if the final heap differs from the sequential top-K oracle.
 pub fn run(cfg: &Cfg) -> RunReport {
-    let mut b = MachineBuilder::new(cfg.base.threads, cfg.base.scheme).seed(cfg.base.seed);
+    let mut b = cfg.base.builder();
     let topk = b.register_label(topk_label()).expect("label budget");
     let mut m = b.build();
     let desc = m.heap_mut().alloc_lines(1);
@@ -44,15 +48,15 @@ pub fn run(cfg: &Cfg) -> RunReport {
     // baseline only ever installs thread 0's... whichever first commits the
     // descriptor initialization).
     let heap_words = 2 + cfg.k;
-    let heaps: Vec<Addr> =
-        (0..cfg.base.threads).map(|_| m.heap_mut().alloc(heap_words * 8, 64)).collect();
+    let heaps: Vec<Addr> = (0..cfg.base.threads)
+        .map(|_| m.heap_mut().alloc(heap_words * 8, 64))
+        .collect();
     for &h in &heaps {
         m.poke(h.offset_words(1), cfg.k); // capacity; len starts 0
     }
 
-    for t in 0..cfg.base.threads {
+    for (t, &my_heap) in heaps.iter().enumerate() {
         let iters = cfg.base.share(cfg.total_inserts, t);
-        let my_heap = heaps[t];
         const I: usize = 0;
         let mut p = Program::builder();
         if iters > 0 {
@@ -85,7 +89,10 @@ pub fn run(cfg: &Cfg) -> RunReport {
 
     // A plain read of the descriptor reduces all local heaps into one.
     let final_heap = Addr::new(m.read_word(desc));
-    assert!(!final_heap.is_null(), "descriptor must point at the merged heap");
+    assert!(
+        !final_heap.is_null(),
+        "descriptor must point at the merged heap"
+    );
     let mut host = HostWords(&mut m);
     let mut got = simheap::drain_values(&mut host, final_heap);
     got.sort_unstable();
@@ -97,8 +104,13 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
     assert_eq!(all.len() as u64, cfg.total_inserts);
     all.sort_unstable();
-    let want: Vec<u64> =
-        all.iter().rev().take(cfg.k.min(cfg.total_inserts) as usize).rev().copied().collect();
+    let want: Vec<u64> = all
+        .iter()
+        .rev()
+        .take(cfg.k.min(cfg.total_inserts) as usize)
+        .rev()
+        .copied()
+        .collect();
     assert_eq!(got, want, "retained set must be the K largest insertions");
     m.check_invariants().expect("coherence invariants");
     report

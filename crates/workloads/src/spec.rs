@@ -1,8 +1,9 @@
 //! Common workload configuration.
 
-use commtm::Scheme;
+use commtm::{MachineBuilder, Scheme, Tuning};
 
-/// Parameters shared by every workload: thread count, scheme, seed.
+/// Parameters shared by every workload: thread count, scheme, seed, and
+/// optional machine-parameter overrides.
 #[derive(Clone, Copy, Debug)]
 pub struct BaseCfg {
     /// Number of threads (= active cores, 1–128).
@@ -11,19 +12,48 @@ pub struct BaseCfg {
     pub scheme: Scheme,
     /// Deterministic seed.
     pub seed: u64,
+    /// Machine-parameter overrides (latencies, backoff, cycle limit); the
+    /// defaults leave the paper's Table I configuration untouched.
+    pub tuning: Tuning,
 }
 
 impl BaseCfg {
     /// A config for `threads` threads under `scheme` with the default
     /// seed.
     pub fn new(threads: usize, scheme: Scheme) -> Self {
-        BaseCfg { threads, scheme, seed: 0xC0FFEE }
+        BaseCfg {
+            threads,
+            scheme,
+            seed: 0xC0FFEE,
+            tuning: Tuning::default(),
+        }
     }
 
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Overrides machine parameters.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Starts a [`MachineBuilder`] for this config (threads, scheme, seed,
+    /// tuning applied). Every workload constructs its machine through this
+    /// so that experiment sweeps can perturb the machine uniformly.
+    pub fn builder(&self) -> MachineBuilder {
+        self.builder_for(self.scheme)
+    }
+
+    /// Like [`BaseCfg::builder`] but under an explicit scheme (used by
+    /// workloads whose variant dictates the scheme, e.g. refcount).
+    pub fn builder_for(&self, scheme: Scheme) -> MachineBuilder {
+        let mut b = MachineBuilder::new(self.threads, scheme).seed(self.seed);
+        b.config_mut().apply_tuning(&self.tuning);
+        b
     }
 
     /// Splits `total` work items across threads; thread `t` receives the
@@ -49,5 +79,19 @@ mod tests {
         // Shares are balanced.
         let shares: Vec<u64> = (0..7).map(|t| cfg.share(total, t)).collect();
         assert!(shares.iter().max().unwrap() - shares.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn builder_applies_tuning() {
+        let tuning = Tuning {
+            mem_latency: Some(999),
+            max_cycles: Some(123),
+            ..Tuning::default()
+        };
+        let cfg = BaseCfg::new(2, Scheme::Baseline).with_tuning(tuning);
+        let m = cfg.builder().build();
+        assert_eq!(m.config().proto.mem_latency, 999);
+        assert_eq!(m.config().max_cycles, 123);
+        assert_eq!(m.config().threads, 2);
     }
 }

@@ -60,7 +60,10 @@ fn run(use_gather: bool, threads: usize, per_thread: u64) -> Result<(u64, RunRep
     for t in 0..threads {
         let s = machine.env(t).user::<Tally>();
         decs += s.decrements;
-        assert_eq!(s.failures, 0, "counter was sized to never hit zero globally");
+        assert_eq!(
+            s.failures, 0,
+            "counter was sized to never hit zero globally"
+        );
     }
     assert_eq!(machine.read_word(counter), initial - decs);
     Ok((report.core_totals().gather_ops, report))

@@ -80,7 +80,11 @@ fn main() -> Result<(), Error> {
         let mut sorted = contents.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len() as u64, threads as u64 * inserts, "set semantics hold");
+        assert_eq!(
+            sorted.len() as u64,
+            threads as u64 * inserts,
+            "set semantics hold"
+        );
         println!(
             "{:?}: {} elements present, {} cycles, {} aborts",
             scheme,

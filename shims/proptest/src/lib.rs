@@ -1,0 +1,137 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use — range and
+//! tuple strategies, `prop_map`, weighted `prop_oneof!`, `collection::vec`,
+//! the `proptest!` macro with an optional `ProptestConfig`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic per-test
+//! seed (hashed from the test's name), so failures reproduce exactly;
+//! shrinking is not implemented (a failing case prints its inputs instead).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The deterministic RNG driving case generation.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Builds the generator for one named test: same name, same stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in collection::vec(0..10, 1..5)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = format!("{:#?}", ($(&$arg,)+));
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name), case + 1, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)+), l, r);
+    }};
+}
+
+/// A weighted union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

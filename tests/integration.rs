@@ -61,12 +61,18 @@ fn commtm_beats_baseline_on_update_heavy_microbenchmarks() {
 
     let base = counter::run(&counter::Cfg::new(BaseCfg::new(t, Scheme::Baseline), ops));
     let comm = counter::run(&counter::Cfg::new(BaseCfg::new(t, Scheme::CommTm), ops));
-    assert!(comm.total_cycles * 4 < base.total_cycles, "counter: expected >4x gain");
+    assert!(
+        comm.total_cycles * 4 < base.total_cycles,
+        "counter: expected >4x gain"
+    );
     assert_eq!(comm.aborts(), 0, "counter: CommTM must not abort");
 
     let base = topk::run(&topk::Cfg::new(BaseCfg::new(t, Scheme::Baseline), ops, 32));
     let comm = topk::run(&topk::Cfg::new(BaseCfg::new(t, Scheme::CommTm), ops, 32));
-    assert!(comm.total_cycles < base.total_cycles, "top-K: CommTM must win");
+    assert!(
+        comm.total_cycles < base.total_cycles,
+        "top-K: CommTM must win"
+    );
 }
 
 #[test]
@@ -101,7 +107,10 @@ fn labeled_operations_are_a_small_fraction_in_apps() {
     cfg.iters = 2;
     let r = kmeans::run(&cfg);
     let frac = r.labeled_fraction();
-    assert!(frac > 0.0 && frac < 0.5, "labeled fraction {frac} out of range");
+    assert!(
+        frac > 0.0 && frac < 0.5,
+        "labeled fraction {frac} out of range"
+    );
 }
 
 #[test]
