@@ -4,6 +4,7 @@
 //! commtm-lab list                      # built-in scenarios
 //! commtm-lab workloads                 # registered workloads and defaults
 //! commtm-lab run fig09 --threads-max 16 --out fig09.json
+//! commtm-lab run --all --out-dir report   # every figure + manifest.json
 //! commtm-lab run sweep.toml --jobs 8 --csv sweep.csv
 //! commtm-lab diff old.json new.json    # regression gate
 //! ```
@@ -11,9 +12,10 @@
 use std::process::ExitCode;
 
 use commtm_lab::exec::{run_scenario, ExecOptions};
+use commtm_lab::json::Json;
 use commtm_lab::results::{diff, ResultSet};
 use commtm_lab::spec::{default_seeds, parse_scheme, scheme_name, Scenario};
-use commtm_lab::{registry, report, scenarios, toml};
+use commtm_lab::{figures, registry, report, scenarios, toml};
 
 const USAGE: &str = "\
 commtm-lab — declarative, parallel experiment sweeps for the CommTM simulator
@@ -22,9 +24,14 @@ USAGE:
     commtm-lab list                         list built-in scenarios
     commtm-lab workloads                    list registered workloads
     commtm-lab run <scenario|file.toml> [options]
+    commtm-lab run --all [--out-dir DIR] [options]
     commtm-lab diff <baseline.json> <current.json> [--tol FRAC]
 
 RUN OPTIONS:
+    --all               run every built-in figure scenario and write one
+                        SVG/HTML figure each, per-scenario results JSON,
+                        and a manifest.json (see --out-dir)
+    --out-dir DIR       artifact directory for --all (default: lab-report)
     --threads LIST      comma-separated thread counts (e.g. 1,8,32)
     --threads-max N     drop sweep points above N threads
     --schemes LIST      comma-separated schemes (baseline,commtm)
@@ -34,6 +41,7 @@ RUN OPTIONS:
     --serial            run cells serially (same numbers, one core)
     --out FILE.json     write full results as JSON
     --csv FILE.csv      write per-cell rows as CSV
+    --svg FILE.svg      render the scenario's figure (SVG/HTML) to a file
     --baseline F.json   diff against a previous JSON (exit 1 on change)
     --tol FRAC          relative tolerance for --baseline/diff (default 0)
     --progress          print per-cell progress to stderr
@@ -88,19 +96,50 @@ fn main() -> ExitCode {
     }
 }
 
+/// Grid overrides shared by `run <scenario>` and `run --all`.
+#[derive(Default)]
+struct Overrides {
+    threads: Option<Vec<usize>>,
+    threads_max: Option<usize>,
+    schemes: Option<Vec<commtm::Scheme>>,
+    seeds: Option<usize>,
+    scale: Option<u64>,
+}
+
+impl Overrides {
+    fn apply(&self, scenario: &mut Scenario) {
+        if let Some(t) = &self.threads {
+            scenario.threads = t.clone();
+        }
+        if let Some(max) = self.threads_max {
+            scenario.cap_threads(max);
+        }
+        if let Some(s) = &self.schemes {
+            for label in scenario.set_schemes(s) {
+                eprintln!("note: dropping workload {label:?} (restricted to schemes not swept)");
+            }
+        }
+        if let Some(n) = self.seeds {
+            scenario.seeds = default_seeds(n.max(1));
+        }
+        if let Some(s) = self.scale {
+            scenario.scale = s;
+        }
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut target: Option<&str> = None;
+    let mut all = false;
+    let mut out_dir: Option<String> = None;
     let mut opts = ExecOptions {
         jobs: 0,
         quiet: true,
     };
-    let mut threads: Option<Vec<usize>> = None;
-    let mut threads_max: Option<usize> = None;
-    let mut schemes: Option<Vec<commtm::Scheme>> = None;
-    let mut seeds: Option<usize> = None;
-    let mut scale: Option<u64> = None;
+    let mut ov = Overrides::default();
     let mut out_json: Option<String> = None;
     let mut out_csv: Option<String> = None;
+    let mut out_svg: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tol = 0.0f64;
     let mut quiet_report = false;
@@ -111,18 +150,20 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
+            "--all" => all = true,
+            "--out-dir" => out_dir = Some(value("--out-dir")?.clone()),
             "--threads" => {
-                threads = Some(parse_usize_list(value("--threads")?)?);
+                ov.threads = Some(parse_usize_list(value("--threads")?)?);
             }
             "--threads-max" => {
-                threads_max = Some(
+                ov.threads_max = Some(
                     value("--threads-max")?
                         .parse()
                         .map_err(|_| "bad --threads-max")?,
                 );
             }
             "--schemes" => {
-                schemes = Some(
+                ov.schemes = Some(
                     value("--schemes")?
                         .split(',')
                         .map(|s| parse_scheme(s.trim()))
@@ -130,10 +171,10 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--seeds" => {
-                seeds = Some(value("--seeds")?.parse().map_err(|_| "bad --seeds")?);
+                ov.seeds = Some(value("--seeds")?.parse().map_err(|_| "bad --seeds")?);
             }
             "--scale" => {
-                scale = Some(value("--scale")?.parse().map_err(|_| "bad --scale")?);
+                ov.scale = Some(value("--scale")?.parse().map_err(|_| "bad --scale")?);
             }
             "--jobs" => {
                 opts.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
@@ -141,6 +182,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--serial" => opts.jobs = 1,
             "--out" => out_json = Some(value("--out")?.clone()),
             "--csv" => out_csv = Some(value("--csv")?.clone()),
+            "--svg" => out_svg = Some(value("--svg")?.clone()),
             "--baseline" => baseline = Some(value("--baseline")?.clone()),
             "--tol" => tol = value("--tol")?.parse().map_err(|_| "bad --tol")?,
             "--progress" => opts.quiet = false,
@@ -152,25 +194,36 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let target = target.ok_or("run needs a scenario name or a .toml file")?;
-    let mut scenario = load_scenario(target)?;
-    if let Some(t) = threads {
-        scenario.threads = t;
-    }
-    if let Some(max) = threads_max {
-        scenario.cap_threads(max);
-    }
-    if let Some(s) = schemes {
-        for label in scenario.set_schemes(&s) {
-            eprintln!("note: dropping workload {label:?} (restricted to schemes not swept)");
+    if all {
+        if target.is_some() {
+            return Err("--all runs every built-in scenario; don't also name one".into());
         }
+        if out_json.is_some()
+            || out_csv.is_some()
+            || out_svg.is_some()
+            || baseline.is_some()
+            || tol != 0.0
+        {
+            return Err(
+                "--out/--csv/--svg/--baseline/--tol are single-scenario options; \
+                 --all writes per-scenario files under --out-dir"
+                    .into(),
+            );
+        }
+        return cmd_run_all(
+            &out_dir.unwrap_or_else(|| "lab-report".to_string()),
+            &ov,
+            &opts,
+            quiet_report,
+        );
     }
-    if let Some(n) = seeds {
-        scenario.seeds = default_seeds(n.max(1));
+
+    let target = target.ok_or("run needs a scenario name, a .toml file, or --all")?;
+    if out_dir.is_some() {
+        return Err("--out-dir only applies to --all; use --out/--csv/--svg".into());
     }
-    if let Some(s) = scale {
-        scenario.scale = s;
-    }
+    let mut scenario = load_scenario(target)?;
+    ov.apply(&mut scenario);
 
     let set = run_scenario(&scenario, &opts)?;
 
@@ -184,6 +237,19 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(path) = out_csv {
         std::fs::write(&path, set.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = out_svg {
+        // Table II renders as an HTML document, not SVG; honor the
+        // user's filename but flag the mismatched extension.
+        if figures::figure_file_name(&scenario).ends_with(".html") && !path.ends_with(".html") {
+            eprintln!(
+                "note: {} renders as HTML, not SVG; consider an .html extension for {path}",
+                scenario.name
+            );
+        }
+        std::fs::write(&path, figures::render_figure(&scenario, &set))
+            .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
 
@@ -202,6 +268,81 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(code)
+}
+
+/// `run --all`: every built-in figure scenario (all built-ins except the
+/// `smoke` grid, which is a harness check rather than a paper figure),
+/// one figure + one results JSON each, plus a manifest of everything
+/// produced.
+fn cmd_run_all(
+    dir: &str,
+    ov: &Overrides,
+    opts: &ExecOptions,
+    quiet_report: bool,
+) -> Result<ExitCode, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let mut entries: Vec<Json> = Vec::new();
+    let mut all_ok = true;
+    for name in scenarios::builtin_names() {
+        if name == "smoke" {
+            continue;
+        }
+        let mut scenario = scenarios::builtin(name).expect("listed scenario exists");
+        ov.apply(&mut scenario);
+        let set = run_scenario(&scenario, opts)?;
+        if !quiet_report {
+            print!("{}", report::render(&scenario, &set));
+        }
+        let figure = figures::figure_file_name(&scenario);
+        let results = format!("{name}.json");
+        let rendered = figures::render_figure(&scenario, &set);
+        // Report what the figure actually shows, not what the grid asked
+        // for: identical seed replicas have zero spread and no bars.
+        let error_bars = rendered.contains("class=\"errbar\"");
+        write_artifact(dir, &figure, &rendered)?;
+        write_artifact(dir, &results, &set.to_json().pretty())?;
+
+        let ok = set.all_ok();
+        all_ok &= ok;
+        if !ok {
+            eprintln!(
+                "warning: {name}: {} cell(s) failed; the figure has gaps",
+                set.cells.iter().filter(|c| c.stats.is_none()).count()
+            );
+        }
+        entries.push(Json::obj(vec![
+            ("name", Json::Str(scenario.name.clone())),
+            ("title", Json::Str(scenario.title.clone())),
+            ("report", Json::Str(scenario.report.name().to_string())),
+            ("figure", Json::Str(figure)),
+            ("results", Json::Str(results)),
+            ("cells", Json::U64(set.cells.len() as u64)),
+            ("scale", Json::U64(scenario.scale)),
+            ("seeds", Json::U64(scenario.seeds.len() as u64)),
+            ("error_bars", Json::Bool(error_bars)),
+            ("ok", Json::Bool(ok)),
+        ]));
+    }
+    // Scale and seeds are per-figure fields: built-ins may declare their
+    // own grids, so run-wide values would misdescribe the report.
+    let manifest = Json::obj(vec![
+        ("generator", Json::Str("commtm-lab run --all".to_string())),
+        ("figures", Json::Arr(entries)),
+    ]);
+    write_artifact(dir, "manifest.json", &manifest.pretty())?;
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Writes one artifact into the output directory, reporting it on stderr.
+fn write_artifact(dir: &str, file: &str, content: &str) -> Result<(), String> {
+    let path = std::path::Path::new(dir).join(file);
+    std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {

@@ -8,6 +8,12 @@
 //! run or how the OS schedules them. The determinism tests assert this by
 //! comparing parallel and serial runs byte-for-byte.
 //!
+//! Cells are *claimed* longest-first (see [`schedule_order`]): a sweep
+//! mixing 128-thread full-scale cells with tiny 1-thread cells would
+//! otherwise risk starting its largest cell last and stretching the
+//! makespan by nearly that cell's whole runtime. Claim order only affects
+//! wall-clock time, never results — slots keep the scenario's cell order.
+//!
 //! A cell that panics (a workload oracle failure or a `SimError` unwrap)
 //! is caught and recorded as that cell's error; the rest of the sweep
 //! continues.
@@ -51,6 +57,34 @@ impl ExecOptions {
     }
 }
 
+/// The estimated relative cost of one cell: simulated threads × the mean
+/// of its resolved workload parameters (a deterministic proxy for
+/// workload size — operation counts dominate the parameter set, and more
+/// cores mean more scheduler steps per operation).
+pub fn estimated_cost(cell: &spec::Cell, scale: u64) -> u64 {
+    let size = registry::resolved_params(cell, scale)
+        .map(|params| {
+            let (sum, count) = params
+                .iter()
+                .fold((0u64, 0u64), |(s, n), (_, v)| (s.saturating_add(v), n + 1));
+            sum.checked_div(count).unwrap_or(1)
+        })
+        .unwrap_or(1);
+    (cell.threads as u64).saturating_mul(size.max(1))
+}
+
+/// The order in which workers claim cells: descending [`estimated_cost`],
+/// ties broken by cell index (so the order — like everything else in the
+/// executor — is deterministic). Longest-first claiming is the classic
+/// LPT heuristic: it keeps one huge cell from being picked up last and
+/// dominating the sweep makespan.
+pub fn schedule_order(cells: &[spec::Cell], scale: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    let costs: Vec<u64> = cells.iter().map(|c| estimated_cost(c, scale)).collect();
+    order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
+    order
+}
+
 /// Runs every cell of `scenario` and collects the results.
 ///
 /// # Errors
@@ -65,6 +99,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &ExecOptions) -> Result<ResultSet
     let started = Instant::now();
 
     let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let order = schedule_order(&cells, scenario.scale);
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let total = cells.len();
@@ -72,10 +107,11 @@ pub fn run_scenario(scenario: &Scenario, opts: &ExecOptions) -> Result<ResultSet
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= total {
+                let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                if claim >= total {
                     return;
                 }
+                let idx = order[claim];
                 let result = run_cell(&cells[idx], scenario);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if !opts.quiet {
@@ -237,6 +273,42 @@ mod tests {
         assert!(
             err.contains("CycleLimit"),
             "error should mention the cycle limit: {err}"
+        );
+    }
+
+    #[test]
+    fn cells_are_claimed_longest_first() {
+        // One huge 4-thread cell among tiny 1/2-thread cells: the huge
+        // cell must be claimed first, and the order must be a permutation.
+        let scn = Scenario::new("sched", "t")
+            .workload(WorkloadSpec::named("counter").param("total_incs", 50))
+            .workload(
+                WorkloadSpec::named("oput")
+                    .label("huge")
+                    .param("total_puts", 1_000_000),
+            )
+            .threads(&[1, 2, 4])
+            .seeds(&[1]);
+        let cells = scn.cells();
+        let order = schedule_order(&cells, scn.scale);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cells.len()).collect::<Vec<_>>());
+        let first = &cells[order[0]];
+        assert_eq!((first.label.as_str(), first.threads), ("huge", 4));
+        // Costs along the claim order never increase.
+        let costs: Vec<u64> = order
+            .iter()
+            .map(|&i| estimated_cost(&cells[i], scn.scale))
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] >= w[1]), "{costs:?}");
+        // Equal-cost cells keep their scenario order (determinism).
+        assert_eq!(schedule_order(&cells, scn.scale), order);
+        // Threads scale the estimate for the same workload size.
+        assert_eq!((cells[4].label.as_str(), cells[4].threads), ("counter", 4));
+        assert!(
+            estimated_cost(&cells[4], 1) > estimated_cost(&cells[0], 1),
+            "4-thread cell costs more than its 1-thread sibling"
         );
     }
 

@@ -1,0 +1,381 @@
+//! Figure rendering: turning a [`ResultSet`] into the paper's charts.
+//!
+//! Where [`crate::report`] renders text tables with shape checks, this
+//! module renders the actual figures as SVG (via [`commtm_plot`]) and
+//! Table II as an HTML table:
+//!
+//! - [`ReportKind::Speedup`] → a line chart of speedup vs threads, one
+//!   series per workload label × scheme (color follows the label, dash
+//!   pattern follows the scheme, as Figs. 9–16),
+//! - [`ReportKind::CycleBreakdown`] / [`ReportKind::WastedBreakdown`] /
+//!   [`ReportKind::GetsBreakdown`] → grouped stacked bars (Figs. 17–19),
+//! - [`ReportKind::Table2`] → an HTML characteristics table.
+//!
+//! Whenever the scenario sweeps ≥ 2 seeds, every point/stack carries a
+//! mean ± sample-stddev error bar computed by
+//! [`ResultSet::summary_stat`]; single-seed sweeps draw none (spread 0).
+//! Failed cells simply leave gaps — a missing point is honest, a
+//! fabricated one is not.
+
+use std::fmt::Write as _;
+
+use commtm::Scheme;
+use commtm_plot::{palette, Bar, BarChart, BarGroup, LineChart, Series};
+
+use crate::report::{norm_scheme, serial_reference};
+use crate::results::{summarize, waste_bucket_name, CellStats, ResultSet, Summary};
+use crate::spec::{scheme_name, ReportKind, Scenario};
+
+/// The artifact file name for a scenario's figure (`<name>.svg`, or
+/// `<name>.html` for the Table II style).
+pub fn figure_file_name(scenario: &Scenario) -> String {
+    match scenario.report {
+        ReportKind::Table2 => format!("{}.html", scenario.name),
+        _ => format!("{}.svg", scenario.name),
+    }
+}
+
+/// Renders the scenario's figure from its results. The text is SVG for
+/// every chart kind and a standalone HTML document for
+/// [`ReportKind::Table2`] (see [`figure_file_name`]).
+pub fn render_figure(scenario: &Scenario, set: &ResultSet) -> String {
+    match scenario.report {
+        ReportKind::Speedup => speedup_chart(scenario, set),
+        ReportKind::CycleBreakdown => breakdown_chart(
+            scenario,
+            set,
+            &["non-tx", "committed", "aborted"],
+            "cycles",
+            |s, i| [s.nontx_cycles, s.committed_cycles, s.aborted_cycles][i] as f64,
+        ),
+        ReportKind::WastedBreakdown => breakdown_chart(
+            scenario,
+            set,
+            &[
+                waste_bucket_name(0),
+                waste_bucket_name(1),
+                waste_bucket_name(2),
+                waste_bucket_name(3),
+            ],
+            "wasted cycles",
+            |s, i| s.wasted[i] as f64,
+        ),
+        ReportKind::GetsBreakdown => gets_chart(scenario, set),
+        ReportKind::Table2 => table2_html(scenario, set),
+    }
+}
+
+/// The shared subtitle: scenario identity plus what the error bars mean.
+fn subtitle(scenario: &Scenario, set: &ResultSet) -> String {
+    let seeds = scenario.seeds.len();
+    let spread = if seeds >= 2 {
+        format!(" · mean ± stddev over {seeds} seeds")
+    } else {
+        String::new()
+    };
+    format!("scenario {} · scale {}{spread}", set.scenario, set.scale)
+}
+
+/// Speedup vs threads (Figs. 9–16): per-seed speedups are each seed's
+/// cycles against the label's (mean) serial reference, so the error bar
+/// reflects the spread of the measured runs themselves.
+fn speedup_chart(scenario: &Scenario, set: &ResultSet) -> String {
+    let mut chart = LineChart::new(&format!("{}: {}", set.scenario, set.title))
+        .subtitle(&subtitle(scenario, set))
+        .x_label("threads")
+        .y_label("speedup over serial")
+        .log2_x(true);
+    let schemes = set.schemes();
+    for (li, label) in set.labels().into_iter().enumerate() {
+        let Some(serial) = serial_reference(set, label) else {
+            continue;
+        };
+        for &scheme in &schemes {
+            // Color follows the workload label (the entity, one palette
+            // slot per label); the scheme rides on the dash pattern, so a
+            // label's baseline and CommTM curves read as one family.
+            let mut series = Series::new(&series_name(label, scheme, &schemes)).slot(li);
+            if scheme == Scheme::Baseline && schemes.len() > 1 {
+                series = series.dashed("5 4");
+            }
+            let mut any = false;
+            for &t in &set.thread_counts() {
+                let Some(cycles) = set.seed_values(label, t, scheme, |s| s.total_cycles as f64)
+                else {
+                    continue;
+                };
+                let speedups: Vec<f64> = cycles
+                    .iter()
+                    .filter(|&&c| c > 0.0)
+                    .map(|&c| serial / c)
+                    .collect();
+                if let Some(s) = summarize(&speedups) {
+                    series = series.point_err(t as f64, s.mean, s.stddev);
+                    any = true;
+                }
+            }
+            if any {
+                chart = chart.series(series);
+            }
+        }
+    }
+    chart.render()
+}
+
+/// The legend name for one (label, scheme) series.
+fn series_name(label: &str, scheme: Scheme, schemes: &[Scheme]) -> String {
+    if schemes.len() > 1 {
+        format!("{label} ({})", scheme_name(scheme))
+    } else {
+        label.to_string()
+    }
+}
+
+/// Fig. 17/18 style: one group per workload, one stacked bar per
+/// (scheme, threads) point, normalized to the label's total at the
+/// normalization point — the same convention as the text report.
+fn breakdown_chart(
+    scenario: &Scenario,
+    set: &ResultSet,
+    segments: &[&str],
+    what: &str,
+    component: impl Fn(&CellStats, usize) -> f64,
+) -> String {
+    let threads = set.thread_counts();
+    let schemes = set.schemes();
+    let norm_threads = threads.first().copied().unwrap_or(8);
+    let norm = norm_scheme(&schemes);
+    let total = |s: &CellStats| (0..segments.len()).map(|i| component(s, i)).sum::<f64>();
+    let mut chart = BarChart::new(&format!("{}: {}", set.scenario, set.title), segments)
+        .subtitle(&subtitle(scenario, set))
+        .y_label(&format!(
+            "{what} (normalized to {}@{})",
+            scheme_name(norm),
+            norm_threads
+        ));
+    for label in set.labels() {
+        // No normalization reference (its cells failed) means no honest
+        // way to scale this label's bars — leave the gap rather than
+        // plotting raw counts on a normalized axis.
+        let Some(norm_total) = set.mean_stat(label, norm_threads, norm, total) else {
+            continue;
+        };
+        let norm_total = norm_total.max(1.0);
+        let mut group = BarGroup::new(label);
+        for &t in &threads {
+            for &scheme in &schemes {
+                let values: Option<Vec<f64>> = (0..segments.len())
+                    .map(|i| set.mean_stat(label, t, scheme, |s| component(s, i)))
+                    .collect();
+                let Some(values) = values else { continue };
+                let spread = set
+                    .summary_stat(label, t, scheme, total)
+                    .map_or(0.0, |s: Summary| s.stddev);
+                group = group.bar(Bar::new(
+                    &format!("{}@{t}", scheme_name(scheme)),
+                    values.iter().map(|v| v / norm_total).collect(),
+                    spread / norm_total,
+                ));
+            }
+        }
+        if !group.bars.is_empty() {
+            chart = chart.group(group);
+        }
+    }
+    chart.render()
+}
+
+/// Fig. 19 style: GETS/GETX/GETU stacks normalized per thread point (the
+/// paper compares schemes at equal thread counts).
+fn gets_chart(scenario: &Scenario, set: &ResultSet) -> String {
+    let threads = set.thread_counts();
+    let schemes = set.schemes();
+    let norm = norm_scheme(&schemes);
+    let mut chart = BarChart::new(
+        &format!("{}: {}", set.scenario, set.title),
+        &["GETS", "GETX", "GETU"],
+    )
+    .subtitle(&subtitle(scenario, set))
+    .y_label(&format!(
+        "directory GETs (normalized to {} per point)",
+        scheme_name(norm)
+    ));
+    for label in set.labels() {
+        let mut group = BarGroup::new(label);
+        for &t in &threads {
+            // As in breakdown_chart: a missing per-point reference leaves
+            // a gap instead of plotting raw counts on a normalized axis.
+            let Some(norm_total) = set.mean_stat(label, t, norm, |s| s.total_gets() as f64) else {
+                continue;
+            };
+            let norm_total = norm_total.max(1.0);
+            for &scheme in &schemes {
+                let parts = [
+                    set.mean_stat(label, t, scheme, |s| s.gets as f64),
+                    set.mean_stat(label, t, scheme, |s| s.getx as f64),
+                    set.mean_stat(label, t, scheme, |s| s.getu as f64),
+                ];
+                let [Some(gets), Some(getx), Some(getu)] = parts else {
+                    continue;
+                };
+                let spread = set
+                    .summary_stat(label, t, scheme, |s| s.total_gets() as f64)
+                    .map_or(0.0, |s| s.stddev);
+                group = group.bar(Bar::new(
+                    &format!("{}@{t}", scheme_name(scheme)),
+                    vec![gets / norm_total, getx / norm_total, getu / norm_total],
+                    spread / norm_total,
+                ));
+            }
+        }
+        if !group.bars.is_empty() {
+            chart = chart.group(group);
+        }
+    }
+    chart.render()
+}
+
+/// Table II as a standalone HTML document: per-workload characteristics,
+/// with a ± column whenever more than one seed was swept.
+fn table2_html(scenario: &Scenario, set: &ResultSet) -> String {
+    let multi_seed = scenario.seeds.len() >= 2;
+    let threads = set.thread_counts();
+    let schemes = set.schemes();
+    let mut rows = String::new();
+    for label in set.labels() {
+        let (Some(&t), Some(&scheme)) = (threads.first(), schemes.first()) else {
+            continue;
+        };
+        let stat = |f: &dyn Fn(&CellStats) -> f64| set.summary_stat(label, t, scheme, f);
+        let Some(commits) = stat(&|s| s.commits as f64) else {
+            let _ = writeln!(
+                rows,
+                "<tr><td>{}</td><td colspan=\"5\" class=\"err\">failed</td></tr>",
+                commtm_plot::svg::esc(label)
+            );
+            continue;
+        };
+        let cell = |s: Option<Summary>| -> String {
+            let Some(s) = s else { return "—".into() };
+            if multi_seed && s.stddev > 0.0 {
+                format!("{:.1} ± {:.1}", s.mean, s.stddev)
+            } else {
+                format!("{:.1}", s.mean)
+            }
+        };
+        let frac = stat(&|s| 100.0 * s.labeled_fraction);
+        let _ = writeln!(
+            rows,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}%</td></tr>",
+            commtm_plot::svg::esc(label),
+            cell(Some(commits)),
+            cell(stat(&|s| s.aborts as f64)),
+            cell(stat(&|s| s.gathers as f64)),
+            cell(stat(&|s| s.reductions as f64)),
+            cell(frac),
+        );
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n<style>\n\
+         body {{ font-family: {font}; background: {surface}; color: {ink}; margin: 2rem; }}\n\
+         h1 {{ font-size: 1.1rem; }}\n\
+         p.sub {{ color: {sub}; font-size: 0.85rem; }}\n\
+         table {{ border-collapse: collapse; font-variant-numeric: tabular-nums; }}\n\
+         th, td {{ text-align: right; padding: 0.35rem 0.9rem; \
+         border-bottom: 1px solid {grid}; font-size: 0.9rem; }}\n\
+         th {{ color: {sub}; font-weight: 600; }}\n\
+         td:first-child, th:first-child {{ text-align: left; }}\n\
+         td.err {{ color: #d03b3b; text-align: left; }}\n\
+         </style></head><body>\n<h1>{title}</h1>\n<p class=\"sub\">{sub_line}</p>\n\
+         <table>\n<thead><tr><th>workload</th><th>commits</th><th>aborts</th>\
+         <th>gathers</th><th>reductions</th><th>labeled ops</th></tr></thead>\n\
+         <tbody>\n{rows}</tbody>\n</table>\n</body></html>\n",
+        title = commtm_plot::svg::esc(&format!("{}: {}", set.scenario, set.title)),
+        sub_line = commtm_plot::svg::esc(&subtitle(scenario, set)),
+        font = palette::FONT,
+        surface = palette::SURFACE,
+        ink = palette::INK,
+        sub = palette::INK_SECONDARY,
+        grid = palette::GRID,
+        rows = rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_scenario_serial;
+    use crate::spec::WorkloadSpec;
+
+    fn tiny(seeds: &[u64], report: ReportKind) -> (Scenario, ResultSet) {
+        let scn = Scenario::new("tiny", "tiny figure scenario")
+            .workload(WorkloadSpec::named("counter").param("total_incs", 120))
+            .threads(&[1, 2])
+            .seeds(seeds)
+            .report(report);
+        let set = run_scenario_serial(&scn).expect("tiny scenario runs");
+        (scn, set)
+    }
+
+    #[test]
+    fn speedup_svg_has_error_bars_iff_multi_seed() {
+        let (scn, set) = tiny(&[11, 12], ReportKind::Speedup);
+        let svg = render_figure(&scn, &set);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("counter (commtm)"));
+        assert!(svg.contains("counter (baseline)"));
+        assert!(
+            svg.contains("class=\"errbar\""),
+            "two seeds must draw error bars:\n{svg}"
+        );
+        let (scn1, set1) = tiny(&[11], ReportKind::Speedup);
+        let svg1 = render_figure(&scn1, &set1);
+        assert!(
+            !svg1.contains("errbar"),
+            "a single seed has zero spread and no error bars"
+        );
+        assert_eq!(figure_file_name(&scn), "tiny.svg");
+    }
+
+    #[test]
+    fn breakdown_svg_stacks_components() {
+        let (scn, set) = tiny(&[11, 12], ReportKind::CycleBreakdown);
+        let svg = render_figure(&scn, &set);
+        assert!(svg.contains("class=\"seg\""));
+        assert!(svg.contains("committed"));
+        assert!(!svg.contains("NaN"));
+        let (scn, set) = tiny(&[11], ReportKind::WastedBreakdown);
+        let svg = render_figure(&scn, &set);
+        assert!(svg.contains("RaW"), "fig18 buckets label the legend");
+    }
+
+    #[test]
+    fn missing_normalization_reference_leaves_a_gap_not_raw_counts() {
+        let (scn, mut set) = tiny(&[11], ReportKind::CycleBreakdown);
+        // Fail the normalization reference cells (baseline @ 1 thread).
+        for c in &mut set.cells {
+            if c.cell.threads == 1 && c.cell.scheme == Scheme::Baseline {
+                c.stats = None;
+                c.error = Some("induced failure".into());
+            }
+        }
+        let svg = render_figure(&scn, &set);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+        assert!(
+            !svg.contains("class=\"seg\""),
+            "without a normalization reference the label's bars are \
+             skipped, never drawn as raw counts:\n{svg}"
+        );
+    }
+
+    #[test]
+    fn table2_renders_html() {
+        let (scn, set) = tiny(&[11, 12], ReportKind::Table2);
+        let html = render_figure(&scn, &set);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<td>counter</td>"));
+        assert!(html.contains("labeled ops"));
+        assert_eq!(figure_file_name(&scn), "tiny.html");
+    }
+}

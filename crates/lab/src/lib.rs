@@ -13,11 +13,15 @@
 //! - [`exec`]: a parallel executor that fans independent
 //!   `sim::Machine` runs across host threads with deterministic
 //!   per-cell seeding — results are byte-identical to a serial run,
-//! - [`results`]: structured per-cell statistics with JSON/CSV export
+//! - [`results`]: structured per-cell statistics with multi-seed
+//!   mean ± stddev aggregation ([`results::Summary`]), JSON/CSV export
 //!   and baseline diffing for regression gating,
 //! - [`scenarios`]: built-in definitions reproducing Figs. 9–19 and
-//!   Table II, and [`report`]: figure-style rendering with the
-//!   original harness's shape checks.
+//!   Table II, [`report`]: figure-style text rendering with the
+//!   original harness's shape checks, and [`figures`]: the actual
+//!   charts — SVG speedup curves and stacked breakdowns (via
+//!   [`commtm_plot`]) plus Table II as HTML, with error bars whenever
+//!   a scenario sweeps ≥ 2 seeds.
 //!
 //! # Example
 //!
@@ -35,9 +39,12 @@
 //! ```
 //!
 //! The `commtm-lab` binary exposes the same machinery on the command
-//! line: `commtm-lab run fig09 --threads-max 16 --out fig09.json`.
+//! line: `commtm-lab run fig09 --threads-max 16 --out fig09.json`, or
+//! `commtm-lab run --all --out-dir report` to regenerate every figure
+//! plus a `manifest.json` of the produced artifacts.
 
 pub mod exec;
+pub mod figures;
 pub mod json;
 pub mod registry;
 pub mod report;
@@ -47,13 +54,15 @@ pub mod spec;
 pub mod toml;
 
 pub use exec::{run_scenario, run_scenario_serial, ExecOptions};
-pub use results::{diff, CellResult, CellStats, DiffReport, ResultSet};
+pub use figures::{figure_file_name, render_figure};
+pub use results::{diff, summarize, CellResult, CellStats, DiffReport, ResultSet, Summary};
 pub use spec::{Cell, Params, ReportKind, Scenario, WorkloadSpec};
 
 /// The common imports for driving experiments.
 pub mod prelude {
     pub use crate::exec::{run_scenario, run_scenario_serial, ExecOptions};
-    pub use crate::results::{diff, ResultSet};
+    pub use crate::figures::{figure_file_name, render_figure};
+    pub use crate::results::{diff, ResultSet, Summary};
     pub use crate::scenarios::builtin;
     pub use crate::spec::{ReportKind, Scenario, WorkloadSpec};
 }

@@ -74,19 +74,9 @@ fn shape_check(out: &mut String, name: &str, ok: bool, detail: String) {
     }
 }
 
-fn schemes_of(set: &ResultSet) -> Vec<Scheme> {
-    let mut out = Vec::new();
-    for c in &set.cells {
-        if !out.contains(&c.cell.scheme) {
-            out.push(c.cell.scheme);
-        }
-    }
-    out
-}
-
 /// The scheme breakdowns normalize against: the baseline when it was
 /// swept, otherwise the first scheme present.
-fn norm_scheme(schemes: &[Scheme]) -> Scheme {
+pub fn norm_scheme(schemes: &[Scheme]) -> Scheme {
     if schemes.contains(&Scheme::Baseline) {
         Scheme::Baseline
     } else {
@@ -99,8 +89,8 @@ fn norm_scheme(schemes: &[Scheme]) -> Scheme {
 /// scheme-restricted variant that never runs the baseline (e.g.
 /// "w/o gather") — the reference of a sibling spec of the same workload,
 /// as the original per-figure harness shared one serial run per figure.
-fn serial_reference(set: &ResultSet, label: &str) -> Option<f64> {
-    let schemes = schemes_of(set);
+pub fn serial_reference(set: &ResultSet, label: &str) -> Option<f64> {
+    let schemes = set.schemes();
     let serial_threads = set.thread_counts().into_iter().min()?;
     let ref_scheme = norm_scheme(&schemes);
     if let Some(c) = set.mean_cycles(label, serial_threads, ref_scheme) {
@@ -145,7 +135,7 @@ fn peak_speedup(set: &ResultSet, label: &str, scheme: Scheme) -> Option<f64> {
 
 fn render_speedup(scenario: &Scenario, set: &ResultSet, out: &mut String) {
     let threads = set.thread_counts();
-    let schemes = schemes_of(set);
+    let schemes = set.schemes();
     for label in set.labels() {
         let Some(serial) = serial_reference(set, label) else {
             let _ = writeln!(out, "--- {label}: missing serial reference point");
@@ -265,7 +255,7 @@ fn render_speedup_check(check: &SpeedupCheck, set: &ResultSet, out: &mut String)
 
 fn render_cycles(set: &ResultSet, out: &mut String) {
     let threads = set.thread_counts();
-    let schemes = schemes_of(set);
+    let schemes = set.schemes();
     let norm_threads = threads.first().copied().unwrap_or(8);
     let norm_scheme = norm_scheme(&schemes);
     let _ = writeln!(
@@ -328,7 +318,7 @@ fn render_cycles(set: &ResultSet, out: &mut String) {
 
 fn render_wasted(set: &ResultSet, out: &mut String) {
     let threads = set.thread_counts();
-    let schemes = schemes_of(set);
+    let schemes = set.schemes();
     let norm_threads = threads.first().copied().unwrap_or(8);
     let norm_scheme = norm_scheme(&schemes);
     let _ = writeln!(
@@ -377,7 +367,7 @@ fn render_wasted(set: &ResultSet, out: &mut String) {
 
 fn render_gets(set: &ResultSet, out: &mut String) {
     let threads = set.thread_counts();
-    let schemes = schemes_of(set);
+    let schemes = set.schemes();
     let norm_scheme = norm_scheme(&schemes);
     let _ = writeln!(
         out,
@@ -469,7 +459,7 @@ fn render_table2(set: &ResultSet, out: &mut String) {
             continue;
         }
         let threads = set.thread_counts();
-        let schemes = schemes_of(set);
+        let schemes = set.schemes();
         let Some(frac) = threads
             .first()
             .and_then(|&t| set.mean_stat(label, t, schemes[0], |s| s.labeled_fraction))

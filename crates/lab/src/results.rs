@@ -139,6 +139,35 @@ impl CellStats {
     }
 }
 
+/// A statistic aggregated over the seed replicas of one grid point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean over seeds.
+    pub mean: f64,
+    /// Sample standard deviation over seeds (Bessel-corrected). A single
+    /// seed yields `0.0`, not NaN — a lone replica has no measured
+    /// spread, and figures must not propagate NaN into error bars.
+    pub stddev: f64,
+    /// Number of seed replicas aggregated.
+    pub n: usize,
+}
+
+/// Aggregates raw per-seed values into a [`Summary`]; `None` when empty.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let stddev = if n < 2 {
+        0.0
+    } else {
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    };
+    Some(Summary { mean, stddev, n })
+}
+
 /// The label of a Fig. 18 waste bucket at a given index.
 pub fn waste_bucket_name(i: usize) -> &'static str {
     match WasteBucket::ALL[i] {
@@ -212,15 +241,17 @@ impl ResultSet {
         })
     }
 
-    /// Mean of one statistic over seeds for one (label, threads, scheme)
-    /// point; `None` if the point has no cells or any seed replica failed.
-    pub fn mean_stat(
+    /// The raw per-seed values of one statistic for one (label, threads,
+    /// scheme) point, in seed order; `None` if the point has no cells or
+    /// any seed replica failed (a partial distribution would silently
+    /// bias the aggregate).
+    pub fn seed_values(
         &self,
         label: &str,
         threads: usize,
         scheme: commtm::Scheme,
         f: impl Fn(&CellStats) -> f64,
-    ) -> Option<f64> {
+    ) -> Option<Vec<f64>> {
         let points: Vec<&CellResult> = self
             .cells
             .iter()
@@ -231,11 +262,35 @@ impl ResultSet {
         if points.is_empty() {
             return None;
         }
-        let mut total = 0.0;
-        for p in &points {
-            total += f(p.stats.as_ref()?);
-        }
-        Some(total / points.len() as f64)
+        points
+            .iter()
+            .map(|p| p.stats.as_ref().map(&f))
+            .collect::<Option<Vec<f64>>>()
+    }
+
+    /// Mean ± stddev of one statistic over seeds for one (label, threads,
+    /// scheme) point; `None` under the same conditions as
+    /// [`ResultSet::seed_values`].
+    pub fn summary_stat(
+        &self,
+        label: &str,
+        threads: usize,
+        scheme: commtm::Scheme,
+        f: impl Fn(&CellStats) -> f64,
+    ) -> Option<Summary> {
+        summarize(&self.seed_values(label, threads, scheme, f)?)
+    }
+
+    /// Mean of one statistic over seeds for one (label, threads, scheme)
+    /// point; `None` if the point has no cells or any seed replica failed.
+    pub fn mean_stat(
+        &self,
+        label: &str,
+        threads: usize,
+        scheme: commtm::Scheme,
+        f: impl Fn(&CellStats) -> f64,
+    ) -> Option<f64> {
+        self.summary_stat(label, threads, scheme, f).map(|s| s.mean)
     }
 
     /// Mean total-cycles over seeds for one (label, threads, scheme)
@@ -261,6 +316,17 @@ impl ResultSet {
         for c in &self.cells {
             if !out.contains(&c.cell.threads) {
                 out.push(c.cell.threads);
+            }
+        }
+        out
+    }
+
+    /// Distinct schemes, in cell order.
+    pub fn schemes(&self) -> Vec<commtm::Scheme> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.cell.scheme) {
+                out.push(c.cell.scheme);
             }
         }
         out
@@ -714,6 +780,63 @@ mod tests {
         let d = diff(&a, &b, 0.0);
         assert_eq!(d.missing.len(), 1);
         assert_eq!(d.extra.len(), 1);
+    }
+
+    #[test]
+    fn summarize_handles_single_and_multi_seed() {
+        // Degenerate single-seed case: stddev is 0, not NaN.
+        let one = summarize(&[42.0]).unwrap();
+        assert_eq!(
+            one,
+            Summary {
+                mean: 42.0,
+                stddev: 0.0,
+                n: 1
+            }
+        );
+        assert!(!one.stddev.is_nan());
+        // Known sample stddev: mean 4, sample variance ((-2)^2+0+2^2)/2 = 4.
+        let three = summarize(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(three.mean, 4.0);
+        assert_eq!(three.stddev, 2.0);
+        assert_eq!(three.n, 3);
+        // Identical replicas have zero spread.
+        assert_eq!(summarize(&[7.0, 7.0, 7.0]).unwrap().stddev, 0.0);
+        assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn summary_stat_aggregates_over_seed_replicas() {
+        let mut set = sample_set();
+        // Add a second seed replica of the same grid point with different
+        // cycle counts.
+        let mut second = set.cells[0].clone();
+        second.cell.seed_index = 1;
+        second.cell.seed = 0x5EED;
+        second.stats.as_mut().unwrap().total_cycles = 1334;
+        set.cells.push(second);
+        let s = set
+            .summary_stat("counter", 4, Scheme::CommTm, |s| s.total_cycles as f64)
+            .unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 1284.0);
+        assert!(
+            (s.stddev - 70.710678).abs() < 1e-5,
+            "sample stddev of {{1234, 1334}}"
+        );
+        // A single-seed point reports zero spread.
+        let one = set
+            .summary_stat("counter", 4, Scheme::CommTm, |s| s.commits as f64)
+            .map(|s| s.stddev);
+        assert_eq!(one, Some(0.0));
+        // A failed replica poisons the whole point rather than biasing it.
+        set.cells[1].stats = None;
+        assert!(set
+            .summary_stat("counter", 4, Scheme::CommTm, |s| s.total_cycles as f64)
+            .is_none());
+        assert!(set
+            .seed_values("missing", 4, Scheme::CommTm, |s| s.commits as f64)
+            .is_none());
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub enum ReportKind {
 }
 
 impl ReportKind {
+    /// The canonical spelling used in TOML specs and the `run --all`
+    /// manifest (the inverse of [`ReportKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportKind::Speedup => "speedup",
+            ReportKind::CycleBreakdown => "cycles",
+            ReportKind::WastedBreakdown => "wasted",
+            ReportKind::GetsBreakdown => "gets",
+            ReportKind::Table2 => "table2",
+        }
+    }
+
     /// Parses a report kind name (as used in TOML specs).
     pub fn parse(name: &str) -> Result<Self, String> {
         match name {
@@ -646,5 +658,18 @@ mod tests {
             assert_eq!(parse_scheme(scheme_name(s)).unwrap(), s);
         }
         assert!(parse_scheme("x").is_err());
+    }
+
+    #[test]
+    fn report_kind_names_roundtrip() {
+        for k in [
+            ReportKind::Speedup,
+            ReportKind::CycleBreakdown,
+            ReportKind::WastedBreakdown,
+            ReportKind::GetsBreakdown,
+            ReportKind::Table2,
+        ] {
+            assert_eq!(ReportKind::parse(k.name()).unwrap(), k);
+        }
     }
 }

@@ -1,0 +1,44 @@
+//! **commtm-plot** — a dependency-free SVG chart renderer for the CommTM
+//! evaluation figures.
+//!
+//! The workspace builds in a container with no crates.io access, so this
+//! crate renders the paper's figure styles (speedup curves, stacked
+//! cycle/traffic breakdowns) straight to SVG text with `std` alone:
+//!
+//! - [`LineChart`]: one y-series per `(workload, scheme)` over a numeric
+//!   x-axis (optionally log₂-spaced, which is how thread sweeps 1–128
+//!   read best), with per-point error bars for multi-seed sweeps,
+//! - [`BarChart`]: grouped, stacked bars (the Fig. 17/18/19 breakdown
+//!   style) with an error bar on each stack total,
+//! - [`palette`]: the validated categorical palette and chart chrome
+//!   colors shared by every figure.
+//!
+//! Rendering is deterministic: identical inputs produce byte-identical
+//! SVG (all coordinates are formatted with fixed precision), which is
+//! what lets `commtm-lab` keep golden-file tests over rendered charts.
+//!
+//! # Example
+//!
+//! ```
+//! use commtm_plot::{LineChart, Series};
+//!
+//! let chart = LineChart::new("fig09 — counter increments")
+//!     .x_label("threads")
+//!     .y_label("speedup")
+//!     .log2_x(true)
+//!     .series(
+//!         Series::new("counter (commtm)")
+//!             .point(1.0, 1.0)
+//!             .point_err(8.0, 7.6, 0.3),
+//!     );
+//! let svg = chart.render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("errbar"), "stddev > 0 draws an error bar");
+//! ```
+
+pub mod chart;
+pub mod palette;
+pub mod scale;
+pub mod svg;
+
+pub use chart::{Bar, BarChart, BarGroup, LineChart, Point, Series};

@@ -1,0 +1,121 @@
+//! Linear axis scales and "nice" tick generation.
+
+/// A linear mapping from a data domain to a pixel range.
+///
+/// The range may be inverted (`r0 > r1`), which is how y-axes map data
+/// upward on SVG's downward pixel grid.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearScale {
+    d0: f64,
+    d1: f64,
+    r0: f64,
+    r1: f64,
+}
+
+impl LinearScale {
+    /// A scale mapping domain `[d0, d1]` onto range `[r0, r1]`.
+    ///
+    /// A degenerate domain (`d0 == d1`) is widened by ±0.5 so single-point
+    /// series still land mid-range instead of dividing by zero.
+    pub fn new(d0: f64, d1: f64, r0: f64, r1: f64) -> Self {
+        let (d0, d1) = if d0 == d1 {
+            (d0 - 0.5, d1 + 0.5)
+        } else {
+            (d0, d1)
+        };
+        LinearScale { d0, d1, r0, r1 }
+    }
+
+    /// Maps a domain value to its pixel position.
+    pub fn map(&self, v: f64) -> f64 {
+        self.r0 + (v - self.d0) / (self.d1 - self.d0) * (self.r1 - self.r0)
+    }
+}
+
+/// The largest "nice" step not exceeding ~`raw` (1, 2, 2.5 or 5 times a
+/// power of ten), used to place round tick values.
+pub fn nice_step(raw: f64) -> f64 {
+    let raw = raw.max(f64::MIN_POSITIVE);
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let n = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 2.5 {
+        2.5
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    n * mag
+}
+
+/// Round tick values from 0 up to at least `max` (about `target` of
+/// them). The last tick is always ≥ `max`, so data never overshoots the
+/// axis.
+pub fn ticks_upto(max: f64, target: usize) -> Vec<f64> {
+    let max = if max.is_finite() && max > 0.0 {
+        max
+    } else {
+        1.0
+    };
+    let step = nice_step(max / target.max(1) as f64);
+    let count = (max / step).ceil() as usize;
+    (0..=count.max(1)).map(|i| i as f64 * step).collect()
+}
+
+/// Formats an axis value compactly but deterministically: integers drop
+/// the fraction, small values keep up to two decimals.
+pub fn fmt_tick(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_inverts() {
+        let s = LinearScale::new(0.0, 10.0, 100.0, 200.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+        let y = LinearScale::new(0.0, 10.0, 300.0, 50.0);
+        assert!(y.map(10.0) < y.map(0.0), "inverted range maps upward");
+    }
+
+    #[test]
+    fn degenerate_domain_is_widened() {
+        let s = LinearScale::new(3.0, 3.0, 0.0, 100.0);
+        assert_eq!(s.map(3.0), 50.0);
+    }
+
+    #[test]
+    fn ticks_are_nice_and_cover_the_max() {
+        assert_eq!(nice_step(0.9), 1.0);
+        assert_eq!(nice_step(3.0), 5.0);
+        assert_eq!(nice_step(23.0), 25.0);
+        let t = ticks_upto(128.0, 5);
+        assert_eq!(t[0], 0.0);
+        assert!(*t.last().unwrap() >= 128.0);
+        assert!(t.len() >= 3 && t.len() <= 9, "{t:?}");
+        // Degenerate maxima still produce a usable axis.
+        assert!(ticks_upto(0.0, 5).len() >= 2);
+        assert!(ticks_upto(f64::NAN, 5).len() >= 2);
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(fmt_tick(32.0), "32");
+        assert_eq!(fmt_tick(2.5), "2.50");
+        assert_eq!(fmt_tick(12.5), "12.5");
+    }
+}

@@ -1,3 +1,7 @@
+//! Reproduces a gather chain across three cores: a labeled list line is
+//! split between two donors, and a third core's gather must collect both
+//! fragments before its reduction observes the full list.
+
 use commtm_mem::{Addr, CoreId, LineData, WORDS_PER_LINE};
 use commtm_protocol::{LabelDef, LabelTable, MemOp, MemSystem, ProtoConfig, TxTable};
 

@@ -1,3 +1,7 @@
+//! Reproduces a gather hitting a transaction's speculative labeled data:
+//! the owner defends its fragment with a NACK instead of surrendering
+//! state the gatherer could then commit against.
+
 use commtm_cache::CohState;
 use commtm_mem::{Addr, CoreId, LineData, WORDS_PER_LINE};
 use commtm_protocol::{LabelDef, LabelTable, MemOp, MemSystem, ProtoConfig, TxTable};
