@@ -177,15 +177,23 @@ impl CoreExec {
             return StepResult::Ran;
         }
 
-        match self.program.block(self.block_idx).clone() {
+        // Borrow the program through a temporary move instead of cloning
+        // the block (an `Arc` bump/release pair on every scheduler step).
+        let program = std::mem::take(&mut self.program);
+        match program.block(self.block_idx) {
             Block::Ctl(_) => {
-                let n = self.run_ctl_chain();
+                let n = self.run_ctl_chain(&program);
                 self.clock += n;
                 self.stats.nontx_cycles += n;
             }
-            Block::Tx(body) => self.run_body(&body, true, sys, txs, cfg, next_ts, events_out),
-            Block::Plain(body) => self.run_body(&body, false, sys, txs, cfg, next_ts, events_out),
+            Block::Tx(body) => {
+                self.run_body(&program, body, true, sys, txs, cfg, next_ts, events_out)
+            }
+            Block::Plain(body) => {
+                self.run_body(&program, body, false, sys, txs, cfg, next_ts, events_out)
+            }
         }
+        self.program = program;
 
         if self.done {
             StepResult::Finished
@@ -196,14 +204,13 @@ impl CoreExec {
 
     /// Runs consecutive Ctl blocks (1 cycle each), bounded per step so that
     /// control-only spin loops cannot stall the scheduler.
-    fn run_ctl_chain(&mut self) -> u64 {
+    fn run_ctl_chain(&mut self, program: &Program) -> u64 {
         const MAX_CHAIN: u64 = 1024;
         let mut n = 0;
         while n < MAX_CHAIN && !self.done {
-            let Block::Ctl(f) = self.program.block(self.block_idx) else {
+            let Block::Ctl(f) = program.block(self.block_idx) else {
                 break;
             };
-            let f = f.clone();
             n += 1;
             let rng = &mut self.rng;
             let mut draw = move || rng.next_u64();
@@ -213,13 +220,10 @@ impl CoreExec {
                 f(&mut ctx)
             };
             match ctl {
-                Ctl::Next => self.advance_to(self.block_idx + 1),
+                Ctl::Next => self.advance_to(self.block_idx + 1, program.len()),
                 Ctl::Jump(i) => {
-                    assert!(
-                        i < self.program.len(),
-                        "jump target {i} out of program bounds"
-                    );
-                    self.advance_to(i);
+                    assert!(i < program.len(), "jump target {i} out of program bounds");
+                    self.advance_to(i, program.len());
                 }
                 Ctl::Done => self.finish(),
             }
@@ -230,6 +234,7 @@ impl CoreExec {
     #[allow(clippy::too_many_arguments)]
     fn run_body(
         &mut self,
+        program: &Program,
         body: &commtm_tx::BlockFn,
         is_tx: bool,
         sys: &mut MemSystem,
@@ -239,7 +244,8 @@ impl CoreExec {
         events_out: &mut Vec<ProtoEvent>,
     ) {
         if !self.block_started {
-            self.block_start_regs = self.env.regs.clone();
+            self.block_start_regs.clear();
+            self.block_start_regs.extend_from_slice(&self.env.regs);
             self.block_started = true;
             if is_tx {
                 // Assign (or retain, across retries) the timestamp.
@@ -297,7 +303,7 @@ impl CoreExec {
                     self.stats.committed_cycles += self.attempt_cycles;
                     self.attempt_cycles = 0;
                 }
-                self.advance_to(self.block_idx + 1);
+                self.advance_to(self.block_idx + 1, program.len());
             }
             StepOutcome::Abort { .. } => {
                 assert!(is_tx, "a non-transactional block cannot abort");
@@ -317,7 +323,7 @@ impl CoreExec {
             );
         }
         self.runner.reset();
-        self.env.regs = self.block_start_regs.clone();
+        self.env.regs.copy_from_slice(&self.block_start_regs);
         self.in_tx = false;
         // The retry must re-enter the transaction (tx_begin again, setting
         // the TxTable entry); the timestamp in `self.ts` is retained so the
@@ -342,11 +348,13 @@ impl CoreExec {
         self.clock += backoff;
     }
 
-    fn advance_to(&mut self, idx: usize) {
+    // `program_len` is passed in because the program is temporarily moved
+    // out of `self` while a block borrows it (see `step`).
+    fn advance_to(&mut self, idx: usize, program_len: usize) {
         self.block_idx = idx;
         self.block_started = false;
         self.runner.reset();
-        if self.block_idx >= self.program.len() {
+        if self.block_idx >= program_len {
             self.finish();
         }
     }
@@ -438,7 +446,12 @@ impl MemPort for EnginePort<'_> {
                 self.sys.debug_priv(self.core, addr.line())
             );
         }
-        let acc = self.sys.access(self.core, mem_op, addr, self.txs);
+        // Events append straight into the engine's reusable buffer
+        // (threaded down from `Machine::run`): no per-access allocation.
+        let before = self.events.len();
+        let acc = self
+            .sys
+            .access_into(self.core, mem_op, addr, self.txs, self.events);
         if trace_enabled() {
             eprintln!(
                 "[{:?}] op={:?} @{:x} -> v={} abort={:?} ev={:?} ts={:?} st={:?}",
@@ -447,12 +460,11 @@ impl MemPort for EnginePort<'_> {
                 addr.raw(),
                 acc.value,
                 acc.self_abort,
-                acc.events,
+                &self.events[before..],
                 self.txs.active_ts(self.core),
                 self.sys.debug_priv(self.core, addr.line())
             );
         }
-        self.events.extend(acc.events);
         if let Some(k) = acc.self_abort {
             *self.abort_cause = Some(k);
         }

@@ -1,0 +1,342 @@
+//! The `commtm-lab bench` pinned performance baseline.
+//!
+//! Runs a fixed set of sweep grids in-process, times each phase, and
+//! reports wall time, simulated-operation throughput, and a determinism
+//! fingerprint per grid. The JSON this emits (`BENCH.json` by convention)
+//! is the repo's tracked perf baseline: timing fields are informational
+//! (they move with the host), while the fingerprints are exact — two
+//! builds that disagree on a fingerprint have changed simulated behavior,
+//! not just speed.
+//!
+//! The grids are **pinned**: same scenarios, thread counts, seeds, and
+//! scales on every run, so numbers are comparable across commits on the
+//! same machine. `quick` runs the subset CI exercises; the full set adds
+//! the heavier grids used for PR-to-PR speedup claims.
+
+use crate::exec::{run_scenario, ExecOptions};
+use crate::json::{parse, Json};
+use crate::results::ResultSet;
+use crate::scenarios;
+use crate::spec::Scenario;
+
+/// One pinned grid: a named, fixed-shape scenario.
+pub struct BenchGrid {
+    /// Stable grid name (fingerprints are compared per name).
+    pub name: &'static str,
+    /// What the grid stresses, for the report.
+    pub what: &'static str,
+    /// The pinned scenario.
+    pub scenario: Scenario,
+}
+
+/// The pinned grids. `quick` = the CI perf-smoke subset; full adds the
+/// heavier sweep used for cross-commit speedup comparisons.
+///
+/// # Panics
+///
+/// Panics if a built-in scenario referenced here disappears (a programming
+/// error caught by the test suite).
+pub fn grids(quick: bool) -> Vec<BenchGrid> {
+    let mut out = Vec::new();
+
+    // Counter microbenchmark, small grid: protocol fast path + reductions
+    // under both schemes, single seed, fast enough for CI.
+    let mut g = scenarios::builtin("fig09").expect("fig09 scenario exists");
+    g.threads = vec![1, 8, 32];
+    g.seeds = vec![0xC0FFEE];
+    g.scale = 1;
+    out.push(BenchGrid {
+        name: "counter-quick",
+        what: "counter micro, threads 1/8/32, scale 1",
+        scenario: g,
+    });
+
+    if !quick {
+        // The PR acceptance smoke: the full fig09 grid at scale 4.
+        let g = {
+            let mut g = scenarios::builtin("fig09").expect("fig09 scenario exists");
+            g.scale = 4;
+            g
+        };
+        out.push(BenchGrid {
+            name: "counter-scale4",
+            what: "counter micro, full thread grid, scale 4",
+            scenario: g,
+        });
+
+        // A pointer-chasing workload: long transactions, more L1/L2
+        // traffic per op, exercises footprint tracking and evictions.
+        let g = {
+            let mut g = scenarios::builtin("fig12").expect("fig12 scenario exists");
+            g.threads = vec![1, 8, 32];
+            g.seeds = vec![0xC0FFEE];
+            g.scale = 2;
+            g
+        };
+        out.push(BenchGrid {
+            name: "list-quick",
+            what: "list micro, threads 1/8/32, scale 2",
+            scenario: g,
+        });
+    }
+    out
+}
+
+/// Measured results for one pinned grid.
+#[derive(Clone, Debug)]
+pub struct GridResult {
+    /// Grid name (matches [`BenchGrid::name`]).
+    pub name: String,
+    /// What the grid stresses.
+    pub what: String,
+    /// Host wall time for the whole grid, milliseconds.
+    pub wall_ms: u64,
+    /// Grid cells executed.
+    pub cells: u64,
+    /// Simulated memory operations issued, over all cells.
+    pub ops: u64,
+    /// Simulated operations per host second (the headline number).
+    pub ops_per_sec: u64,
+    /// FNV-1a hash of the grid's canonical (timing-free) results JSON.
+    /// Exact: any change means simulated behavior changed.
+    pub fingerprint: String,
+}
+
+/// A full bench run: per-grid phases plus the total.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Whether this was the quick (CI) subset.
+    pub quick: bool,
+    /// Per-grid results, in execution order.
+    pub grids: Vec<GridResult>,
+    /// Total host wall time, milliseconds.
+    pub total_wall_ms: u64,
+}
+
+/// FNV-1a over the canonical results JSON: stable, dependency-free, and
+/// plenty for change *detection* (this gates determinism, not security).
+fn fingerprint(set: &ResultSet) -> String {
+    let text = set.canonical_json().pretty();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Runs the pinned grids and collects the report.
+///
+/// # Errors
+///
+/// Propagates scenario execution failures (a cell that cannot run).
+pub fn run(quick: bool, opts: &ExecOptions) -> Result<BenchReport, String> {
+    let mut out = Vec::new();
+    let total_start = std::time::Instant::now();
+    for grid in grids(quick) {
+        let start = std::time::Instant::now();
+        let set = run_scenario(&grid.scenario, opts)?;
+        let wall_ms = start.elapsed().as_millis() as u64;
+        let ops: u64 = set
+            .cells
+            .iter()
+            .filter_map(|c| c.stats.as_ref())
+            .map(|s| s.total_ops)
+            .sum();
+        let secs = (wall_ms as f64 / 1000.0).max(1e-9);
+        out.push(GridResult {
+            name: grid.name.to_string(),
+            what: grid.what.to_string(),
+            wall_ms,
+            cells: set.cells.len() as u64,
+            ops,
+            ops_per_sec: (ops as f64 / secs) as u64,
+            fingerprint: fingerprint(&set),
+        });
+    }
+    Ok(BenchReport {
+        quick,
+        grids: out,
+        total_wall_ms: total_start.elapsed().as_millis() as u64,
+    })
+}
+
+impl BenchReport {
+    /// Serializes the report (the `BENCH.json` format).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("generator", Json::Str("commtm-lab bench".to_string())),
+            (
+                "mode",
+                Json::Str(if self.quick { "quick" } else { "full" }.to_string()),
+            ),
+            ("total_wall_ms", Json::U64(self.total_wall_ms)),
+            (
+                "grids",
+                Json::Arr(
+                    self.grids
+                        .iter()
+                        .map(|g| {
+                            Json::obj(vec![
+                                ("name", Json::Str(g.name.clone())),
+                                ("what", Json::Str(g.what.clone())),
+                                ("wall_ms", Json::U64(g.wall_ms)),
+                                ("cells", Json::U64(g.cells)),
+                                ("ops", Json::U64(g.ops)),
+                                ("ops_per_sec", Json::U64(g.ops_per_sec)),
+                                ("fingerprint", Json::Str(g.fingerprint.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a previously-written `BENCH.json`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a missing required field.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        let grids = v
+            .get("grids")
+            .and_then(Json::as_arr)
+            .ok_or("BENCH.json missing \"grids\"")?;
+        let mut out = Vec::new();
+        for g in grids {
+            let s = |k: &str| -> Result<String, String> {
+                g.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("grid missing {k:?}"))
+            };
+            let u = |k: &str| -> Result<u64, String> {
+                g.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("grid missing {k:?}"))
+            };
+            out.push(GridResult {
+                name: s("name")?,
+                what: s("what")?,
+                wall_ms: u("wall_ms")?,
+                cells: u("cells")?,
+                ops: u("ops")?,
+                ops_per_sec: u("ops_per_sec")?,
+                fingerprint: s("fingerprint")?,
+            });
+        }
+        Ok(BenchReport {
+            quick: v.get("mode").and_then(Json::as_str) == Some("quick"),
+            grids: out,
+            total_wall_ms: v.get("total_wall_ms").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "commtm-lab bench ({})\n",
+            if self.quick { "quick" } else { "full" }
+        ));
+        s.push_str(&format!(
+            "{:<16} {:>8} {:>6} {:>12} {:>12}  {}\n",
+            "grid", "wall ms", "cells", "sim ops", "ops/sec", "fingerprint"
+        ));
+        for g in &self.grids {
+            s.push_str(&format!(
+                "{:<16} {:>8} {:>6} {:>12} {:>12}  {}\n",
+                g.name, g.wall_ms, g.cells, g.ops, g.ops_per_sec, g.fingerprint
+            ));
+        }
+        s.push_str(&format!("total wall time: {} ms\n", self.total_wall_ms));
+        s
+    }
+
+    /// Compares determinism fingerprints against a baseline report.
+    /// Timing is deliberately ignored: only behavior gates. Grids present
+    /// in one report but not the other are skipped (quick vs full).
+    ///
+    /// Returns the mismatching grid names.
+    pub fn fingerprint_mismatches(&self, baseline: &BenchReport) -> Vec<String> {
+        let mut bad = Vec::new();
+        for g in &self.grids {
+            if let Some(b) = baseline.grids.iter().find(|b| b.name == g.name) {
+                if b.fingerprint != g.fingerprint {
+                    bad.push(g.name.clone());
+                }
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grids_are_pinned() {
+        let g = grids(true);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].name, "counter-quick");
+        assert_eq!(g[0].scenario.threads, vec![1, 8, 32]);
+        assert_eq!(g[0].scenario.scale, 1);
+        // Full mode strictly extends quick mode, so fingerprints of shared
+        // grids stay comparable across the two.
+        let full = grids(false);
+        assert_eq!(full[0].name, "counter-quick");
+        assert!(full.len() > 1);
+    }
+
+    #[test]
+    fn bench_json_roundtrip_and_check() {
+        let report = BenchReport {
+            quick: true,
+            grids: vec![GridResult {
+                name: "counter-quick".into(),
+                what: "x".into(),
+                wall_ms: 12,
+                cells: 6,
+                ops: 1000,
+                ops_per_sec: 83000,
+                fingerprint: "00ff".into(),
+            }],
+            total_wall_ms: 12,
+        };
+        let text = report.to_json().pretty();
+        let back = BenchReport::from_json_str(&text).expect("roundtrip parses");
+        assert_eq!(back.grids[0].fingerprint, "00ff");
+        assert_eq!(back.grids[0].ops, 1000);
+        assert!(back.quick);
+        assert!(report.fingerprint_mismatches(&back).is_empty());
+
+        let mut other = back;
+        other.grids[0].fingerprint = "beef".into();
+        // Timing differences never gate; fingerprints do.
+        other.grids[0].wall_ms = 9999;
+        assert_eq!(
+            report.fingerprint_mismatches(&other),
+            vec!["counter-quick".to_string()]
+        );
+    }
+
+    #[test]
+    fn quick_bench_runs_and_fingerprints_deterministically() {
+        let opts = ExecOptions {
+            jobs: 1,
+            quiet: true,
+        };
+        let a = run(true, &opts).expect("bench runs");
+        let b = run(true, &opts).expect("bench runs");
+        assert_eq!(a.grids.len(), 1);
+        assert!(a.grids[0].ops > 0, "ops counted");
+        assert_eq!(
+            a.grids[0].fingerprint, b.grids[0].fingerprint,
+            "same build, same seeds, same fingerprint"
+        );
+        assert!(a.fingerprint_mismatches(&b).is_empty());
+    }
+}

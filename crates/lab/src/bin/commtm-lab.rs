@@ -11,11 +11,12 @@
 
 use std::process::ExitCode;
 
+use commtm_lab::bench::BenchReport;
 use commtm_lab::exec::{run_scenario, ExecOptions};
 use commtm_lab::json::Json;
 use commtm_lab::results::{diff, ResultSet};
 use commtm_lab::spec::{default_seeds, parse_scheme, scheme_name, Scenario};
-use commtm_lab::{figures, registry, report, scenarios, toml};
+use commtm_lab::{bench, figures, registry, report, scenarios, toml};
 
 const USAGE: &str = "\
 commtm-lab — declarative, parallel experiment sweeps for the CommTM simulator
@@ -25,6 +26,7 @@ USAGE:
     commtm-lab workloads                    list registered workloads
     commtm-lab run <scenario|file.toml> [options]
     commtm-lab run --all [--out-dir DIR] [options]
+    commtm-lab bench [--quick] [--out BENCH.json] [--check BASE.json]
     commtm-lab diff <baseline.json> <current.json> [--tol FRAC]
 
 RUN OPTIONS:
@@ -46,6 +48,13 @@ RUN OPTIONS:
     --tol FRAC          relative tolerance for --baseline/diff (default 0)
     --progress          print per-cell progress to stderr
     --quiet             suppress the figure-style report
+
+BENCH OPTIONS:
+    --quick             run only the CI perf-smoke grid subset
+    --out FILE.json     write the BENCH.json perf baseline
+    --check BASE.json   compare determinism fingerprints against a previous
+                        BENCH.json; exit 1 on mismatch (timing never gates)
+    --jobs N / --serial as for run
 ";
 
 fn main() -> ExitCode {
@@ -72,6 +81,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => match cmd_run(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("bench") => match cmd_bench(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -343,6 +359,80 @@ fn write_artifact(dir: &str, file: &str, content: &str) -> Result<(), String> {
     std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote {}", path.display());
     Ok(())
+}
+
+/// `bench`: the pinned perf baseline (see `commtm_lab::bench` and
+/// docs/PERFORMANCE.md). Timing is informational; only determinism
+/// fingerprints gate (via `--check`).
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut opts = ExecOptions {
+        jobs: 0,
+        quiet: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(value("--out")?.clone()),
+            "--check" => check = Some(value("--check")?.clone()),
+            "--jobs" => {
+                opts.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
+            }
+            "--serial" => opts.jobs = 1,
+            "--progress" => opts.quiet = false,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+
+    let report = bench::run(quick, &opts)?;
+    print!("{}", report.render());
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json().pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let base = BenchReport::from_json_str(&text)?;
+        let bad = report.fingerprint_mismatches(&base);
+        if bad.is_empty() {
+            let compared: Vec<&str> = report
+                .grids
+                .iter()
+                .filter(|g| base.grids.iter().any(|b| b.name == g.name))
+                .map(|g| g.name.as_str())
+                .collect();
+            // An empty overlap means the gate compared nothing — e.g. a
+            // grid was renamed without regenerating the baseline. That
+            // must not pass as "match".
+            if compared.is_empty() {
+                eprintln!(
+                    "no grid names in common with {path}: the determinism gate \
+                     compared nothing; regenerate the baseline with \
+                     `commtm-lab bench --out {path}`"
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+            println!(
+                "determinism fingerprints match {path} ({})",
+                compared.join(", ")
+            );
+        } else {
+            eprintln!(
+                "determinism fingerprint mismatch vs {path}: {} — simulated \
+                 behavior changed; see docs/PERFORMANCE.md",
+                bad.join(", ")
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {

@@ -43,6 +43,7 @@
 //! `commtm-lab run --all --out-dir report` to regenerate every figure
 //! plus a `manifest.json` of the produced artifacts.
 
+pub mod bench;
 pub mod exec;
 pub mod figures;
 pub mod json;

@@ -44,6 +44,9 @@ pub struct CellStats {
     pub nacks_sent: u64,
     /// Fraction of issued memory operations that were labeled.
     pub labeled_fraction: f64,
+    /// Memory operations issued (plain + labeled, over all cores). Feeds
+    /// the `commtm-lab bench` ops/sec figure.
+    pub total_ops: u64,
 }
 
 impl CellStats {
@@ -51,6 +54,7 @@ impl CellStats {
     pub fn from_report(r: &RunReport) -> Self {
         let b = r.cycle_breakdown();
         let proto = r.proto_totals();
+        let core_totals = r.core_totals();
         let mut wasted = [0u64; 4];
         for (i, (_, v)) in r.wasted_breakdown().iter().enumerate() {
             wasted[i] = *v;
@@ -71,6 +75,7 @@ impl CellStats {
             splits: proto.splits,
             nacks_sent: proto.nacks_sent,
             labeled_fraction: r.labeled_fraction(),
+            total_ops: core_totals.plain_ops + core_totals.labeled_ops,
         }
     }
 
@@ -99,6 +104,7 @@ impl CellStats {
             ("splits", Json::U64(self.splits)),
             ("nacks_sent", Json::U64(self.nacks_sent)),
             ("labeled_fraction", Json::F64(self.labeled_fraction)),
+            ("total_ops", Json::U64(self.total_ops)),
         ])
     }
 
@@ -135,6 +141,9 @@ impl CellStats {
                 .get("labeled_fraction")
                 .and_then(Json::as_f64)
                 .ok_or("stats missing \"labeled_fraction\"")?,
+            // Absent in result files written before the bench subcommand
+            // existed; those still diff cleanly on every other field.
+            total_ops: v.get("total_ops").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }

@@ -1,8 +1,7 @@
 //! Sparse simulated main memory.
 
-use std::collections::HashMap;
-
 use crate::addr::{Addr, LineAddr};
+use crate::hash::FxHashMap;
 use crate::line::LineData;
 
 /// Simulated physical memory: a sparse map from line address to line data.
@@ -12,7 +11,9 @@ use crate::line::LineData;
 /// of additive labels is zero.
 ///
 /// `MainMemory` is purely functional storage; latency and coherence live in
-/// the protocol crate.
+/// the protocol crate. The line map uses the crate's deterministic
+/// [`FxHashMap`](crate::FxHashMap) rather than std's SipHash: line fetches
+/// sit on the protocol's miss path, and the keys are trusted addresses.
 ///
 /// # Example
 ///
@@ -26,7 +27,7 @@ use crate::line::LineData;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, LineData>,
+    lines: FxHashMap<LineAddr, LineData>,
 }
 
 impl MainMemory {

@@ -38,4 +38,6 @@ pub use dir::{DirState, L3Meta};
 pub use label::{LabelDef, LabelTable, ReduceFn, ReduceOps, SplitFn};
 pub use stats::{CoreProtoStats, ProtoStats};
 pub use system::MemSystem;
-pub use types::{AbortKind, Access, MemOp, ProtoEvent, ReqClass, TxEntry, TxTable, WasteBucket};
+pub use types::{
+    AbortKind, Access, AccessOutcome, MemOp, ProtoEvent, ReqClass, TxEntry, TxTable, WasteBucket,
+};

@@ -1,7 +1,7 @@
 //! Directory-side request flows: GETS, GETX, GETU (cases 1–5 of
 //! Sec. III-B3), reductions (Sec. III-B4) and gathers (Sec. IV).
 
-use commtm_cache::{CohState, PrivMeta, SpecBits};
+use commtm_cache::{CohState, PrivMeta, Slot, SpecBits};
 use commtm_mem::{CoreId, LabelId, LineAddr, LineData, SharerSet};
 
 use crate::dir::DirState;
@@ -107,17 +107,43 @@ impl MemSystem {
             .dir = dir;
     }
 
-    pub(crate) fn l3_data(&self, line: LineAddr) -> LineData {
-        let bank = self.bank_of(line);
-        self.l3[bank]
-            .peek(line)
-            .expect("l3 data before l3_ensure")
-            .data
+    /// Slot-based variants of the directory accessors, for flows that hold
+    /// the line's L3 slot from [`MemSystem::l3_ensure`]. Valid only while
+    /// no nested flow (reduction handler, recursive `l3_ensure`) could have
+    /// restructured the bank. The tag check is a real assert, not a debug
+    /// one: a stale slot here would silently corrupt another line's
+    /// directory state in release sweeps, and the branch is trivially
+    /// predicted next to the set scan it replaced.
+    pub(crate) fn dir_at(&self, bank: usize, slot: Slot, line: LineAddr) -> DirState {
+        let e = self.l3[bank].entry(slot);
+        assert_eq!(e.tag, line, "stale L3 slot");
+        e.meta.dir
     }
 
-    pub(crate) fn set_l3_data(&mut self, line: LineAddr, data: LineData, dirty: bool) {
-        let bank = self.bank_of(line);
-        let e = self.l3[bank].get(line).expect("l3 data before l3_ensure");
+    pub(crate) fn set_dir_at(&mut self, bank: usize, slot: Slot, line: LineAddr, dir: DirState) {
+        self.l3[bank].touch(slot);
+        let e = self.l3[bank].entry_mut(slot);
+        assert_eq!(e.tag, line, "stale L3 slot");
+        e.meta.dir = dir;
+    }
+
+    pub(crate) fn l3_data_at(&self, bank: usize, slot: Slot, line: LineAddr) -> LineData {
+        let e = self.l3[bank].entry(slot);
+        assert_eq!(e.tag, line, "stale L3 slot");
+        e.data
+    }
+
+    pub(crate) fn set_l3_data_at(
+        &mut self,
+        bank: usize,
+        slot: Slot,
+        line: LineAddr,
+        data: LineData,
+        dirty: bool,
+    ) {
+        self.l3[bank].touch(slot);
+        let e = self.l3[bank].entry_mut(slot);
+        assert_eq!(e.tag, line, "stale L3 slot");
         e.data = data;
         e.meta.dirty |= dirty;
     }
@@ -142,14 +168,14 @@ impl MemSystem {
         self.stats.core_mut(core).gets += 1;
         let bank = self.bank_of(line);
         acc.lat(self.cfg.l2_latency + self.cfg.mesh.core_to_bank(core, bank) + self.cfg.l3_latency);
-        self.l3_ensure(line, txs, acc, handler);
+        let l3 = self.l3_ensure(line, txs, acc, handler);
         let req_ts = self.req_ts(core, handler, txs);
 
-        match self.dir(line) {
+        match self.dir_at(bank, l3, line) {
             DirState::Uncached => {
                 // MESI: sole requester gets E.
-                let data = self.l3_data(line);
-                self.set_dir(line, DirState::Exclusive(core));
+                let data = self.l3_data_at(bank, l3, line);
+                self.set_dir_at(bank, l3, line, DirState::Exclusive(core));
                 let meta = PrivMeta {
                     state: CohState::E,
                     label: None,
@@ -159,9 +185,9 @@ impl MemSystem {
                 acc.lat(self.cfg.mesh.bank_to_core(bank, core));
             }
             DirState::Shared(mut s) => {
-                let data = self.l3_data(line);
+                let data = self.l3_data_at(bank, l3, line);
                 s.insert(core);
-                self.set_dir(line, DirState::Shared(s));
+                self.set_dir_at(bank, l3, line, DirState::Shared(s));
                 let meta = PrivMeta {
                     state: CohState::S,
                     label: None,
@@ -207,12 +233,12 @@ impl MemSystem {
                     }
                 }
                 if was_m {
-                    self.set_l3_data(line, v, true);
+                    self.set_l3_data_at(bank, l3, line, v, true);
                     self.stats.core_mut(owner).writebacks += 1;
                 }
                 let mut s = SharerSet::single(owner);
                 s.insert(core);
-                self.set_dir(line, DirState::Shared(s));
+                self.set_dir_at(bank, l3, line, DirState::Shared(s));
                 let meta = PrivMeta {
                     state: CohState::S,
                     label: None,
@@ -244,13 +270,13 @@ impl MemSystem {
         self.stats.core_mut(core).getx += 1;
         let bank = self.bank_of(line);
         acc.lat(self.cfg.l2_latency + self.cfg.mesh.core_to_bank(core, bank) + self.cfg.l3_latency);
-        self.l3_ensure(line, txs, acc, handler);
+        let l3 = self.l3_ensure(line, txs, acc, handler);
         let req_ts = self.req_ts(core, handler, txs);
 
-        match self.dir(line) {
+        match self.dir_at(bank, l3, line) {
             DirState::Uncached => {
-                let data = self.l3_data(line);
-                self.set_dir(line, DirState::Exclusive(core));
+                let data = self.l3_data_at(bank, l3, line);
+                self.set_dir_at(bank, l3, line, DirState::Exclusive(core));
                 let meta = PrivMeta {
                     state: CohState::E,
                     label: None,
@@ -287,7 +313,9 @@ impl MemSystem {
                 }
                 acc.lat(par);
                 if nacked {
-                    self.set_dir(
+                    self.set_dir_at(
+                        bank,
+                        l3,
                         line,
                         if remaining.is_empty() {
                             DirState::Uncached
@@ -300,9 +328,9 @@ impl MemSystem {
                 let data = if s.contains(core) {
                     self.priv_current(core, line)
                 } else {
-                    self.l3_data(line)
+                    self.l3_data_at(bank, l3, line)
                 };
-                self.set_dir(line, DirState::Exclusive(core));
+                self.set_dir_at(bank, l3, line, DirState::Exclusive(core));
                 let meta = PrivMeta {
                     state: CohState::E,
                     label: None,
@@ -330,8 +358,8 @@ impl MemSystem {
                 }
                 let v = self.priv_nonspec(owner, line);
                 self.invalidate_private(owner, line);
-                self.set_l3_data(line, v, true);
-                self.set_dir(line, DirState::Exclusive(core));
+                self.set_l3_data_at(bank, l3, line, v, true);
+                self.set_dir_at(bank, l3, line, DirState::Exclusive(core));
                 let meta = PrivMeta {
                     state: CohState::E,
                     label: None,
@@ -368,15 +396,20 @@ impl MemSystem {
         self.stats.core_mut(core).getu += 1;
         let bank = self.bank_of(line);
         acc.lat(self.cfg.l2_latency + self.cfg.mesh.core_to_bank(core, bank) + self.cfg.l3_latency);
-        self.l3_ensure(line, txs, acc, handler);
+        let l3 = self.l3_ensure(line, txs, acc, handler);
         let req_ts = self.req_ts(core, handler, txs);
 
-        match self.dir(line) {
+        match self.dir_at(bank, l3, line) {
             // Case 1: no other private copies — the first requester gets
             // the data (Fig. 4a).
             DirState::Uncached => {
-                let data = self.l3_data(line);
-                self.set_dir(line, DirState::Reducible(label, SharerSet::single(core)));
+                let data = self.l3_data_at(bank, l3, line);
+                self.set_dir_at(
+                    bank,
+                    l3,
+                    line,
+                    DirState::Reducible(label, SharerSet::single(core)),
+                );
                 let meta = PrivMeta {
                     state: CohState::U,
                     label: Some(label),
@@ -415,7 +448,9 @@ impl MemSystem {
                 }
                 acc.lat(par);
                 if nacked {
-                    self.set_dir(
+                    self.set_dir_at(
+                        bank,
+                        l3,
                         line,
                         if remaining.is_empty() {
                             DirState::Uncached
@@ -428,9 +463,14 @@ impl MemSystem {
                 let data = if s.contains(core) {
                     self.priv_current(core, line)
                 } else {
-                    self.l3_data(line)
+                    self.l3_data_at(bank, l3, line)
                 };
-                self.set_dir(line, DirState::Reducible(label, SharerSet::single(core)));
+                self.set_dir_at(
+                    bank,
+                    l3,
+                    line,
+                    DirState::Reducible(label, SharerSet::single(core)),
+                );
                 let meta = PrivMeta {
                     state: CohState::U,
                     label: Some(label),
@@ -452,7 +492,7 @@ impl MemSystem {
                     "local U hit should not reach the directory"
                 );
                 s.insert(core);
-                self.set_dir(line, DirState::Reducible(label, s));
+                self.set_dir_at(bank, l3, line, DirState::Reducible(label, s));
                 let identity = self.labels.def(label).identity();
                 let meta = PrivMeta {
                     state: CohState::U,

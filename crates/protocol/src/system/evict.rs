@@ -81,14 +81,23 @@ impl MemSystem {
             self.abort_tx(core, AbortKind::Eviction, txs, acc);
         }
 
+        // One L3 probe for the whole disposal (inclusion guarantees
+        // residency); only the U-forward arm re-probes, after its handler.
+        let bank = self.bank_of(line);
+        let l3 = self.l3[bank]
+            .lookup(line)
+            .expect("inclusion: evicted private line must be in L3");
+
         match victim.meta.state {
             CohState::I => unreachable!("invalid line resident in L2"),
             CohState::S => {
-                let DirState::Shared(mut s) = self.dir(line) else {
+                let DirState::Shared(mut s) = self.dir_at(bank, l3, line) else {
                     panic!("S eviction with inconsistent directory for {line}");
                 };
                 s.remove(core);
-                self.set_dir(
+                self.set_dir_at(
+                    bank,
+                    l3,
                     line,
                     if s.is_empty() {
                         DirState::Uncached
@@ -98,22 +107,22 @@ impl MemSystem {
                 );
             }
             CohState::E => {
-                self.set_dir(line, DirState::Uncached);
+                self.set_dir_at(bank, l3, line, DirState::Uncached);
             }
             CohState::M => {
-                self.set_l3_data(line, nonspec, true);
-                self.set_dir(line, DirState::Uncached);
+                self.set_l3_data_at(bank, l3, line, nonspec, true);
+                self.set_dir_at(bank, l3, line, DirState::Uncached);
                 self.stats.core_mut(core).writebacks += 1;
             }
             CohState::U => {
-                let DirState::Reducible(label, mut s) = self.dir(line) else {
+                let DirState::Reducible(label, mut s) = self.dir_at(bank, l3, line) else {
                     panic!("U eviction with inconsistent directory for {line}");
                 };
                 s.remove(core);
                 if s.is_empty() {
                     // Sole sharer: a normal dirty writeback.
-                    self.set_l3_data(line, nonspec, true);
-                    self.set_dir(line, DirState::Uncached);
+                    self.set_l3_data_at(bank, l3, line, nonspec, true);
+                    self.set_dir_at(bank, l3, line, DirState::Uncached);
                     self.stats.core_mut(core).writebacks += 1;
                 } else {
                     // Forward to a random co-sharer, which reduces it into
@@ -138,17 +147,18 @@ impl MemSystem {
     }
 
     /// Ensures a line is resident in its L3 bank, fetching from memory and
-    /// evicting (with recalls) as needed.
+    /// evicting (with recalls) as needed. Returns the line's slot, the
+    /// single L3 probe the calling directory flow reuses throughout.
     pub(crate) fn l3_ensure(
         &mut self,
         line: LineAddr,
         txs: &mut TxTable,
         acc: &mut Acc,
         handler: bool,
-    ) {
+    ) -> commtm_cache::Slot {
         let bank = self.bank_of(line);
-        if self.l3[bank].contains(line) {
-            return;
+        if let Some(slot) = self.l3[bank].lookup(line) {
+            return slot;
         }
         acc.lat(self.cfg.mem_latency);
         let data = self.mem.read_line(line);
@@ -157,12 +167,20 @@ impl MemSystem {
         } else {
             EvictionClass::NonReducible
         };
-        let victim = self.l3[bank]
-            .fill(line, data, L3Meta::default(), class)
-            .victim;
-        if let Some(v) = victim {
+        let out = self.l3[bank].fill(line, data, L3Meta::default(), class);
+        let slot = out.slot;
+        if let Some(v) = out.victim {
             self.l3_evict(v, txs, acc);
+            // Disposing the victim can recall lines and run reduction
+            // handlers, whose own misses may recursively fill this bank —
+            // in the worst case evicting the line just installed. Re-probe
+            // so the returned slot is never stale (the pre-slot code
+            // re-scanned on every directory accessor and panicked here).
+            return self.l3[bank]
+                .lookup(line)
+                .expect("line evicted from L3 by nested flow during l3_ensure");
         }
+        slot
     }
 
     /// Disposes an L3 victim. The L3 is inclusive, so all private copies

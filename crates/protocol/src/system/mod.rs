@@ -8,14 +8,14 @@ mod invariants;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use commtm_cache::{CacheArray, CohState, EvictionClass, L1Meta, PrivMeta};
+use commtm_cache::{CacheArray, CohState, EvictionClass, L1Meta, PrivMeta, Slot};
 use commtm_mem::{Addr, CoreId, LabelId, LineAddr, LineData, MainMemory};
 
 use crate::config::ProtoConfig;
 use crate::dir::L3Meta;
 use crate::label::LabelTable;
 use crate::stats::ProtoStats;
-use crate::types::{AbortKind, Access, MemOp, ProtoEvent, TxTable};
+use crate::types::{AbortKind, Access, AccessOutcome, MemOp, ProtoEvent, TxTable};
 
 /// Whether `COMMTM_TRACE` is set (cached): emits protocol-event traces on
 /// stderr for debugging.
@@ -66,6 +66,9 @@ pub struct MemSystem {
     pub(crate) privs: Vec<PrivCache>,
     pub(crate) stats: ProtoStats,
     pub(crate) rng: StdRng,
+    /// Event buffer recycled across accesses ([`MemSystem::access_into`]);
+    /// kept here so the steady-state access loop never allocates.
+    events_scratch: Vec<ProtoEvent>,
 }
 
 impl std::fmt::Debug for MemSystem {
@@ -100,6 +103,7 @@ impl MemSystem {
             privs,
             stats,
             rng,
+            events_scratch: Vec::new(),
         }
     }
 
@@ -132,7 +136,35 @@ impl MemSystem {
     /// Panics if `addr` is not word-aligned, or on API misuse (gather on a
     /// label with no splitter).
     pub fn access(&mut self, core: CoreId, op: MemOp, addr: Addr, txs: &mut TxTable) -> Access {
-        let mut acc = Acc::default();
+        let mut events = Vec::new();
+        let out = self.access_into(core, op, addr, txs, &mut events);
+        Access {
+            value: out.value,
+            latency: out.latency,
+            self_abort: out.self_abort,
+            events,
+        }
+    }
+
+    /// Like [`MemSystem::access`], but appends the access's events to a
+    /// caller-supplied buffer instead of returning a fresh `Vec`. The
+    /// simulation loop threads one reusable buffer through every core step
+    /// (`Machine::run` → `CoreExec::step` → here), so the steady-state
+    /// access path performs no heap allocation.
+    pub fn access_into(
+        &mut self,
+        core: CoreId,
+        op: MemOp,
+        addr: Addr,
+        txs: &mut TxTable,
+        events_out: &mut Vec<ProtoEvent>,
+    ) -> AccessOutcome {
+        let mut acc = Acc {
+            latency: 0,
+            events: std::mem::take(&mut self.events_scratch),
+            self_abort: None,
+        };
+        debug_assert!(acc.events.is_empty(), "events scratch leaked entries");
         let value = self.do_op(core, op, addr, txs, &mut acc, false);
         // An eviction (or handler collision) may have aborted the
         // requester's own transaction through the event path; promote it to
@@ -147,17 +179,20 @@ impl MemSystem {
                 acc.self_abort = Some(cause);
             }
         }
-        acc.events
-            .retain(|e| !matches!(e, ProtoEvent::Aborted { core: c, .. } if *c == core));
+        events_out.extend(
+            acc.events
+                .drain(..)
+                .filter(|e| !matches!(e, ProtoEvent::Aborted { core: c, .. } if *c == core)),
+        );
+        self.events_scratch = acc.events;
         if acc.self_abort.is_some() {
             self.rollback_core(core);
             txs.end(core);
         }
-        Access {
+        AccessOutcome {
             value,
             latency: acc.latency,
             self_abort: acc.self_abort,
-            events: acc.events,
         }
     }
 
@@ -165,7 +200,9 @@ impl MemSystem {
     /// non-speculative (Fig. 5 step 2). The caller clears the [`TxTable`].
     pub fn commit_core(&mut self, core: CoreId) {
         let p = &mut self.privs[core.index()];
-        for line in std::mem::take(&mut p.spec_lines) {
+        // Drain in place: `spec_lines` keeps its capacity for the next
+        // transaction instead of reallocating every commit.
+        for line in p.spec_lines.drain(..) {
             if let Some(e) = p.l1.get(line) {
                 if e.meta.spec.dirty_data {
                     e.meta.dirty = true;
@@ -180,7 +217,7 @@ impl MemSystem {
     /// cleared. Idempotent.
     pub fn rollback_core(&mut self, core: CoreId) {
         let p = &mut self.privs[core.index()];
-        for line in std::mem::take(&mut p.spec_lines) {
+        for line in p.spec_lines.drain(..) {
             let l2_data = p.l2.peek(line).map(|e| e.data);
             if let Some(e) = p.l1.get(line) {
                 if e.meta.spec.dirty_data {
@@ -305,7 +342,18 @@ impl MemSystem {
             return self.do_gather(core, label, addr, txs, acc, handler);
         }
 
-        let (state, lbl) = self.priv_state(core, line);
+        // Probe each private level once: the L2 lookup yields the
+        // authoritative state, and both slot handles feed the local
+        // completion directly so the fast path never rescans a set.
+        let p = &self.privs[core.index()];
+        let l2_slot = p.l2.lookup(line);
+        let (state, lbl) = match l2_slot {
+            Some(s) => {
+                let m = &p.l2.entry(s).meta;
+                (m.state, m.label)
+            }
+            None => (CohState::I, None),
+        };
         let sufficient = match op {
             MemOp::Load => state.can_plain_read(),
             MemOp::Store(_) => state.can_plain_write(),
@@ -325,19 +373,22 @@ impl MemSystem {
         }
 
         if sufficient {
-            let l1_present = self.privs[core.index()].l1.contains(line);
-            if l1_present {
-                self.stats.core_mut(core).l1_hits += 1;
+            let l1_slot = p.l1.lookup(line);
+            let cs = self.stats.core_mut(core);
+            if l1_slot.is_some() {
+                cs.l1_hits += 1;
             } else {
-                self.stats.core_mut(core).l1_misses += 1;
-                self.stats.core_mut(core).l2_hits += 1;
+                cs.l1_misses += 1;
+                cs.l2_hits += 1;
                 acc.lat(self.cfg.l2_latency);
             }
-            return self.local_op(core, op, addr, txs, acc, handler);
+            let l2_slot = l2_slot.expect("sufficient permission implies an L2 entry");
+            return self.local_op_at(core, op, addr, l1_slot, l2_slot, txs, acc, handler);
         }
 
-        self.stats.core_mut(core).l1_misses += 1;
-        self.stats.core_mut(core).l2_misses += 1;
+        let cs = self.stats.core_mut(core);
+        cs.l1_misses += 1;
+        cs.l2_misses += 1;
 
         match op {
             MemOp::Load => self.dir_gets(core, line, txs, acc, handler),
@@ -399,9 +450,12 @@ impl MemSystem {
         self.local_op(core, MemOp::LoadL(label), addr, txs, acc, handler)
     }
 
-    /// Completes an operation against the (now sufficient) private copy:
-    /// fills the L1 if needed, maintains speculative footprint bits and the
-    /// Fig. 5 value-management discipline, and performs the word access.
+    /// Completes an operation against the (now sufficient) private copy.
+    ///
+    /// This is the re-probing wrapper for callers arriving from a directory
+    /// flow (which may have restructured both private arrays); the fast
+    /// path enters [`MemSystem::local_op_at`] directly with the slots it
+    /// already holds.
     pub(crate) fn local_op(
         &mut self,
         core: CoreId,
@@ -412,47 +466,79 @@ impl MemSystem {
         handler: bool,
     ) -> u64 {
         let line = addr.line();
+        let p = &self.privs[core.index()];
+        let l1_slot = p.l1.lookup(line);
+        let l2_slot = p.l2.lookup(line).expect("local_op without L2 entry");
+        self.local_op_at(core, op, addr, l1_slot, l2_slot, txs, acc, handler)
+    }
+
+    /// Completes an operation against located private copies: fills the L1
+    /// if needed, maintains speculative footprint bits and the Fig. 5
+    /// value-management discipline, and performs the word access.
+    ///
+    /// `l1_slot`/`l2_slot` are the single probe results for `addr`'s line;
+    /// no set is rescanned past this point. Slot validity: the only
+    /// structural change below is the L1 fill itself (whose eviction path
+    /// never removes or fills private-array entries, it only rolls back
+    /// footprint bits), so both handles stay live for the whole operation.
+    #[allow(clippy::too_many_arguments)]
+    fn local_op_at(
+        &mut self,
+        core: CoreId,
+        op: MemOp,
+        addr: Addr,
+        l1_slot: Option<Slot>,
+        l2_slot: Slot,
+        txs: &mut TxTable,
+        acc: &mut Acc,
+        handler: bool,
+    ) -> u64 {
+        let line = addr.line();
         let widx = addr.word_index();
 
         // Ensure an L1 copy exists (from the L2's data).
-        if !self.privs[core.index()].l1.contains(line) {
-            let p = &self.privs[core.index()];
-            let l2e = p.l2.peek(line).expect("local_op without L2 entry");
-            let data = l2e.data;
-            let is_u = l2e.meta.state == CohState::U;
-            let class = if handler {
-                EvictionClass::Handler
-            } else if is_u {
-                EvictionClass::Reducible
-            } else {
-                EvictionClass::NonReducible
-            };
-            let victim = self.privs[core.index()]
-                .l1
-                .fill(line, data, L1Meta::default(), class)
-                .victim;
-            if let Some(v) = victim {
-                self.l1_evict_tx(core, v, txs, acc);
+        let l1_slot = match l1_slot {
+            Some(s) => s,
+            None => {
+                let p = &mut self.privs[core.index()];
+                let l2e = p.l2.entry(l2_slot);
+                let data = l2e.data;
+                let is_u = l2e.meta.state == CohState::U;
+                let class = if handler {
+                    EvictionClass::Handler
+                } else if is_u {
+                    EvictionClass::Reducible
+                } else {
+                    EvictionClass::NonReducible
+                };
+                let out = p.l1.fill(line, data, L1Meta::default(), class);
+                let slot = out.slot;
+                if let Some(v) = out.victim {
+                    self.l1_evict_tx(core, v, txs, acc);
+                }
+                slot
             }
-        }
+        };
 
         let in_tx = txs.entry(core).active && !handler;
 
         // Footprint tracking and non-speculative value preservation.
         if in_tx {
             let p = &mut self.privs[core.index()];
-            let newly_tracked = {
-                let e = p.l1.get(line).expect("L1 entry just ensured");
-                !e.meta.spec.any()
-            };
-            if newly_tracked && !p.spec_lines.contains(&line) {
+            let newly_tracked = !p.l1.entry(l1_slot).meta.spec.any();
+            if newly_tracked {
+                // Spec bits are cleared only when `spec_lines` is drained
+                // (commit/rollback), so no-bits-set implies not-tracked.
+                debug_assert!(
+                    !p.spec_lines.contains(&line),
+                    "{line} in spec_lines but its footprint bits are clear"
+                );
                 p.spec_lines.push(line);
             }
             if op.is_store() {
-                self.preserve_nonspec(core, line);
+                self.preserve_nonspec(core, l1_slot, l2_slot);
             }
-            let p = &mut self.privs[core.index()];
-            let e = p.l1.get(line).expect("L1 entry just ensured");
+            let e = self.privs[core.index()].l1.entry_mut(l1_slot);
             match op {
                 MemOp::Load => e.meta.spec.read = true,
                 MemOp::Store(_) => e.meta.spec.written = true,
@@ -466,14 +552,16 @@ impl MemSystem {
         // E -> M upgrade on plain stores happens silently at the core.
         if let MemOp::Store(_) = op {
             let p = &mut self.privs[core.index()];
-            let l2e = p.l2.get(line).expect("inclusion");
+            p.l2.touch(l2_slot);
+            let l2e = p.l2.entry_mut(l2_slot);
             if l2e.meta.state == CohState::E {
                 l2e.meta.state = CohState::M;
             }
         }
 
         let p = &mut self.privs[core.index()];
-        let e = p.l1.get(line).expect("L1 entry just ensured");
+        p.l1.touch(l1_slot);
+        let e = p.l1.entry_mut(l1_slot);
         match op {
             MemOp::Load | MemOp::LoadL(_) | MemOp::Gather(_) => e.data[widx],
             MemOp::Store(v) | MemOp::StoreL(_, v) => {
@@ -490,18 +578,17 @@ impl MemSystem {
 
     /// Fig. 5 step 3: before the first speculative write to a line, forward
     /// the current non-speculative value to the L2.
-    fn preserve_nonspec(&mut self, core: CoreId, line: LineAddr) {
+    fn preserve_nonspec(&mut self, core: CoreId, l1_slot: Slot, l2_slot: Slot) {
         let p = &mut self.privs[core.index()];
-        let (needs_copy, data) = {
-            let e = p.l1.get(line).expect("preserve_nonspec without L1 entry");
-            (!e.meta.spec.dirty_data && e.meta.dirty, e.data)
-        };
+        let e = p.l1.entry(l1_slot);
+        let needs_copy = !e.meta.spec.dirty_data && e.meta.dirty;
+        let data = e.data;
         if needs_copy {
-            let l2e = p.l2.get(line).expect("inclusion");
+            p.l2.touch(l2_slot);
+            let l2e = p.l2.entry_mut(l2_slot);
             l2e.data = data;
             l2e.meta.dirty = true;
-            let e = p.l1.get(line).expect("just seen");
-            e.meta.dirty = false;
+            p.l1.entry_mut(l1_slot).meta.dirty = false;
         }
     }
 
@@ -531,45 +618,57 @@ impl MemSystem {
         } else {
             EvictionClass::NonReducible
         };
+        let to_u = meta.state == CohState::U;
 
-        // L2 (authoritative) entry. An upgrade into U of a line sitting in
-        // the reserved way must relocate it (way 0 never holds U data).
+        // L2 (authoritative) entry, located with a single probe. An upgrade
+        // into U of a line sitting in the reserved way must relocate it
+        // (way 0 never holds U data).
         let p = &mut self.privs[core.index()];
-        let reloc_l2 =
-            meta.state == CohState::U && self.cfg.l2.ways() > 1 && p.l2.way_of(line) == Some(0);
-        if reloc_l2 {
-            p.l2.remove(line);
-        }
-        let p = &mut self.privs[core.index()];
-        if let Some(e) = p.l2.get(line) {
-            e.meta = meta;
-            e.data = data;
-        } else {
-            let victim = p.l2.fill(line, data, meta, class).victim;
-            if let Some(v) = victim {
-                self.l2_evict(core, v, txs, acc);
+        match p.l2.lookup(line) {
+            Some(s) if to_u && self.cfg.l2.ways() > 1 && p.l2.way_of_slot(s) == 0 => {
+                p.l2.remove_slot(s);
+                let out = p.l2.fill(line, data, meta, class);
+                if let Some(v) = out.victim {
+                    self.l2_evict(core, v, txs, acc);
+                }
+            }
+            Some(s) => {
+                p.l2.touch(s);
+                let e = p.l2.entry_mut(s);
+                e.meta = meta;
+                e.data = data;
+            }
+            None => {
+                let out = p.l2.fill(line, data, meta, class);
+                if let Some(v) = out.victim {
+                    self.l2_evict(core, v, txs, acc);
+                }
             }
         }
 
         // L1 mirror (same reserved-way relocation, preserving footprint
-        // bits).
+        // bits). Re-probed: the L2 step above may have run an eviction
+        // flow, which can restructure the L1.
         let p = &mut self.privs[core.index()];
-        let reloc_l1 =
-            meta.state == CohState::U && self.cfg.l1.ways() > 1 && p.l1.way_of(line) == Some(0);
-        let preserved = if reloc_l1 {
-            p.l1.remove(line).map(|e| e.meta)
-        } else {
-            None
-        };
-        let p = &mut self.privs[core.index()];
-        if let Some(e) = p.l1.get(line) {
-            e.data = data;
-            e.meta.dirty = false;
-        } else {
-            let l1_meta = preserved.unwrap_or_default();
-            let victim = p.l1.fill(line, data, l1_meta, class).victim;
-            if let Some(v) = victim {
-                self.l1_evict_tx(core, v, txs, acc);
+        match p.l1.lookup(line) {
+            Some(s) if to_u && self.cfg.l1.ways() > 1 && p.l1.way_of_slot(s) == 0 => {
+                let preserved = p.l1.remove_slot(s).meta;
+                let out = p.l1.fill(line, data, preserved, class);
+                if let Some(v) = out.victim {
+                    self.l1_evict_tx(core, v, txs, acc);
+                }
+            }
+            Some(s) => {
+                p.l1.touch(s);
+                let e = p.l1.entry_mut(s);
+                e.data = data;
+                e.meta.dirty = false;
+            }
+            None => {
+                let out = p.l1.fill(line, data, L1Meta::default(), class);
+                if let Some(v) = out.victim {
+                    self.l1_evict_tx(core, v, txs, acc);
+                }
             }
         }
     }
@@ -589,24 +688,33 @@ impl MemSystem {
         let to_u = meta.state == CohState::U;
         let p = &mut self.privs[core.index()];
 
-        if to_u && self.cfg.l2.ways() > 1 && p.l2.way_of(line) == Some(0) {
-            let mut e = p.l2.remove(line).expect("relocating missing L2 line");
-            e.meta = meta;
-            let out = p.l2.fill(line, e.data, e.meta, EvictionClass::Reducible);
-            if let Some(v) = out.victim {
-                self.l2_evict(core, v, txs, acc);
+        match p.l2.lookup(line) {
+            Some(s) if to_u && self.cfg.l2.ways() > 1 && p.l2.way_of_slot(s) == 0 => {
+                let mut e = p.l2.remove_slot(s);
+                e.meta = meta;
+                let out = p.l2.fill(line, e.data, e.meta, EvictionClass::Reducible);
+                if let Some(v) = out.victim {
+                    self.l2_evict(core, v, txs, acc);
+                }
             }
-        } else {
-            let e = p.l2.get(line).expect("set_priv_meta on missing L2 line");
-            e.meta = meta;
+            Some(s) => {
+                p.l2.touch(s);
+                p.l2.entry_mut(s).meta = meta;
+            }
+            None => panic!("set_priv_meta on missing L2 line"),
         }
 
+        // Re-probed: the L2 relocation may have run an eviction flow.
         let p = &mut self.privs[core.index()];
-        if to_u && self.cfg.l1.ways() > 1 && p.l1.way_of(line) == Some(0) {
-            let e = p.l1.remove(line).expect("relocating missing L1 line");
-            let out = p.l1.fill(line, e.data, e.meta, EvictionClass::Reducible);
-            if let Some(v) = out.victim {
-                self.l1_evict_tx(core, v, txs, acc);
+        if to_u && self.cfg.l1.ways() > 1 {
+            if let Some(s) = p.l1.lookup(line) {
+                if p.l1.way_of_slot(s) == 0 {
+                    let e = p.l1.remove_slot(s);
+                    let out = p.l1.fill(line, e.data, e.meta, EvictionClass::Reducible);
+                    if let Some(v) = out.victim {
+                        self.l1_evict_tx(core, v, txs, acc);
+                    }
+                }
             }
         }
     }

@@ -263,6 +263,21 @@ pub enum ProtoEvent {
     },
 }
 
+/// The result of one [`crate::MemSystem::access_into`]: everything in
+/// [`Access`] except the event list, which is appended to the caller's
+/// reusable buffer instead of allocated per access. This is what keeps the
+/// simulator's access loop allocation-free in steady state.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessOutcome {
+    /// The value loaded (stores echo the stored value; a NACKed requester
+    /// gets an unspecified value and must retry after aborting).
+    pub value: u64,
+    /// Cycles the access took beyond the 1-cycle issue cost.
+    pub latency: u64,
+    /// If set, the *requesting* transaction must abort with this cause.
+    pub self_abort: Option<AbortKind>,
+}
+
 /// The result of one [`crate::MemSystem::access`].
 #[derive(Clone, Debug)]
 pub struct Access {

@@ -233,39 +233,59 @@ impl Machine {
             }
         }
 
+        // One event buffer threaded through every step (and from there
+        // through `MemSystem::access_into`): the steady-state loop reuses
+        // it instead of allocating per access.
         let mut events: Vec<ProtoEvent> = Vec::new();
+        // Split borrows once: stepping a core needs `&mut` to the core,
+        // the memory system, and the transaction table at the same time.
+        // Indexing through `self` would force moving the (large) CoreExec
+        // out of the vec and back on every step.
+        let Machine {
+            cfg,
+            sys,
+            txs,
+            cores,
+            next_ts,
+            ..
+        } = self;
         while let Some(Reverse((_, idx))) = heap.pop() {
-            let mut core = self.cores[idx].take().expect("core present");
-            let result = core.step(
-                &mut self.sys,
-                &mut self.txs,
-                &self.cfg.htm,
-                &mut self.next_ts,
-                &mut events,
-            );
-            let clock = core.clock();
-            self.cores[idx] = Some(core);
+            // Run-to-completion batching: keep stepping this core while it
+            // remains the minimum-(clock, index) core. The step sequence is
+            // identical to push-then-pop scheduling — the heap would hand
+            // the same core straight back — but the common uncontended case
+            // skips the heap traffic entirely.
+            loop {
+                let core = cores[idx].as_mut().expect("core present");
+                let result = core.step(sys, txs, &cfg.htm, next_ts, &mut events);
+                let clock = core.clock();
 
-            // Deliver asynchronous aborts to their victims.
-            for ev in events.drain(..) {
-                match ev {
-                    ProtoEvent::Aborted {
-                        core: victim,
-                        cause,
-                    } => {
-                        let v = self.cores[victim.index()]
-                            .as_mut()
-                            .expect("victim core exists");
-                        v.notify_aborted(cause);
+                // Deliver asynchronous aborts to their victims.
+                for ev in events.drain(..) {
+                    match ev {
+                        ProtoEvent::Aborted {
+                            core: victim,
+                            cause,
+                        } => {
+                            let v = cores[victim.index()].as_mut().expect("victim core exists");
+                            v.notify_aborted(cause);
+                        }
                     }
                 }
-            }
 
-            if clock > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit { core: idx, clock });
-            }
-            if result == StepResult::Ran {
-                heap.push(Reverse((clock, idx)));
+                if clock > cfg.max_cycles {
+                    return Err(SimError::CycleLimit { core: idx, clock });
+                }
+                if result != StepResult::Ran {
+                    break;
+                }
+                match heap.peek() {
+                    Some(&Reverse(next)) if (clock, idx) > next => {
+                        heap.push(Reverse((clock, idx)));
+                        break;
+                    }
+                    _ => {}
+                }
             }
         }
 

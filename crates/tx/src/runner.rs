@@ -160,6 +160,10 @@ impl StepOutcome {
 pub struct BlockRunner {
     pub(crate) log: Vec<LogEntry>,
     work_charged: u64,
+    // Register snapshot reused across passes: a block runs one pass per
+    // memory operation, so cloning `env.regs` here would put one heap
+    // allocation on every simulated access.
+    saved_regs: Vec<u64>,
 }
 
 impl BlockRunner {
@@ -181,7 +185,8 @@ impl BlockRunner {
 
     /// Runs one pass of the block.
     pub fn step(&mut self, body: &BlockFn, env: &mut Env, port: &mut dyn MemPort) -> StepOutcome {
-        let saved_regs = env.regs.clone();
+        self.saved_regs.clear();
+        self.saved_regs.extend_from_slice(&env.regs);
         let mut ctx = TxCtx::new(&mut self.log, env, port);
         body(&mut ctx);
         let pass = ctx.finish();
@@ -190,14 +195,14 @@ impl BlockRunner {
         let cycles = 1 + pass.op_latency + new_work;
         if pass.aborted {
             // The enclosing transaction is gone; the caller resets us.
-            env.regs = saved_regs;
+            env.regs.copy_from_slice(&self.saved_regs);
             return StepOutcome::Abort { cycles };
         }
         self.work_charged += new_work;
         if pass.blocked {
             // The pass went past its one new operation: discard its
             // side effects (they re-run deterministically next pass).
-            env.regs = saved_regs;
+            env.regs.copy_from_slice(&self.saved_regs);
             return StepOutcome::Yield { cycles };
         }
         // The pass completed the block. Apply deferred user-state actions
