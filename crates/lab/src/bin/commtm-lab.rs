@@ -23,7 +23,8 @@ commtm-lab — declarative, parallel experiment sweeps for the CommTM simulator
 
 USAGE:
     commtm-lab list                         list built-in scenarios
-    commtm-lab workloads                    list registered workloads
+    commtm-lab workloads [--json]           registered workloads and their
+                                            typed parameter schemas
     commtm-lab run <scenario|file.toml> [options]
     commtm-lab run --all [--out-dir DIR] [options]
     commtm-lab bench [--quick] [--out BENCH.json] [--check BASE.json]
@@ -32,7 +33,11 @@ USAGE:
 RUN OPTIONS:
     --all               run every built-in figure scenario and write one
                         SVG/HTML figure each, per-scenario results JSON,
-                        and a manifest.json (see --out-dir)
+                        a manifest.json, and an index.html linking every
+                        figure (see --out-dir)
+    --param KEY=VALUE   override one workload parameter (typed via the
+                        workload's schema; repeatable; errors list each
+                        workload's valid parameters)
     --out-dir DIR       artifact directory for --all (default: lab-report)
     --threads LIST      comma-separated thread counts (e.g. 1,8,32)
     --threads-max N     drop sweep points above N threads
@@ -68,18 +73,13 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("workloads") => {
-            println!("registered workloads (defaults shown at scale 1, 8 threads):");
-            for def in registry::WORKLOADS {
-                let defaults: Vec<String> = (def.defaults)(1, 8)
-                    .iter()
-                    .map(|(n, v)| format!("{n}={v}"))
-                    .collect();
-                println!("  {:<10} {:?}: {}", def.name, def.kind, def.summary);
-                println!("  {:<10}   defaults: {}", "", defaults.join(", "));
+        Some("workloads") => match cmd_workloads(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
             }
-            ExitCode::SUCCESS
-        }
+        },
         Some("run") => match cmd_run(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
@@ -110,6 +110,51 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `workloads`: the registered workloads with their declared parameter
+/// schemas — a per-workload table, or the machine-readable `--json` dump
+/// that CI diffs against the committed `docs/workloads.json` golden.
+fn cmd_workloads(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let reg = registry::global();
+    if json {
+        print!("{}", reg.schema_json().pretty());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("registered workloads:");
+    for def in reg.workloads() {
+        println!(
+            "  {:<10} {}: {}",
+            def.name(),
+            def.kind().name(),
+            def.summary()
+        );
+        println!(
+            "    {:<16} {:<7} {:<14} description",
+            "param", "type", "default"
+        );
+        for spec in def.schema().specs() {
+            let mut doc = spec.doc.to_string();
+            if let Some(choices) = spec.choices {
+                doc.push_str(&format!(" [one of: {}]", choices.join(", ")));
+            }
+            println!(
+                "    {:<16} {:<7} {:<14} {}",
+                spec.name,
+                spec.ty.name(),
+                spec.default.render(),
+                doc
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Grid overrides shared by `run <scenario>` and `run --all`.
@@ -160,6 +205,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut tol = 0.0f64;
     let mut quiet_report = false;
 
+    let mut params: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -167,6 +213,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         };
         match arg.as_str() {
             "--all" => all = true,
+            "--param" => params.push(value("--param")?.clone()),
             "--out-dir" => out_dir = Some(value("--out-dir")?.clone()),
             "--threads" => {
                 ov.threads = Some(parse_usize_list(value("--threads")?)?);
@@ -214,6 +261,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         if target.is_some() {
             return Err("--all runs every built-in scenario; don't also name one".into());
         }
+        if !params.is_empty() {
+            return Err(
+                "--param overrides a single scenario's workload parameters; \
+                        it does not combine with --all"
+                    .into(),
+            );
+        }
         if out_json.is_some()
             || out_csv.is_some()
             || out_svg.is_some()
@@ -240,6 +294,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     let mut scenario = load_scenario(target)?;
     ov.apply(&mut scenario);
+    for kv in &params {
+        registry::apply_param_override(registry::global(), &mut scenario, kv)?;
+    }
 
     let set = run_scenario(&scenario, &opts)?;
 
@@ -346,6 +403,7 @@ fn cmd_run_all(
         ("figures", Json::Arr(entries)),
     ]);
     write_artifact(dir, "manifest.json", &manifest.pretty())?;
+    write_artifact(dir, "index.html", &figures::render_index(&manifest))?;
     Ok(if all_ok {
         ExitCode::SUCCESS
     } else {

@@ -58,15 +58,29 @@ impl ExecOptions {
 }
 
 /// The estimated relative cost of one cell: simulated threads × the mean
-/// of its resolved workload parameters (a deterministic proxy for
+/// of its resolved numeric workload parameters (a deterministic proxy for
 /// workload size — operation counts dominate the parameter set, and more
-/// cores mean more scheduler steps per operation).
+/// cores mean more scheduler steps per operation). Booleans count as 0/1
+/// (they were integer switches before parameters were typed, keeping the
+/// schedule order stable); strings name variants, not sizes, and are
+/// excluded.
 pub fn estimated_cost(cell: &spec::Cell, scale: u64) -> u64 {
-    let size = registry::resolved_params(cell, scale)
+    estimated_cost_in(registry::global(), cell, scale)
+}
+
+/// Like [`estimated_cost`], resolving the workload's schema in an
+/// explicit registry (so custom workloads are costed by *their* schema,
+/// not the global one's — or a fallback of 1).
+pub fn estimated_cost_in(reg: &registry::Registry, cell: &spec::Cell, scale: u64) -> u64 {
+    let size = reg
+        .resolved_params(cell, scale)
         .map(|params| {
-            let (sum, count) = params
-                .iter()
-                .fold((0u64, 0u64), |(s, n), (_, v)| (s.saturating_add(v), n + 1));
+            let (sum, count) = params.iter().fold((0u64, 0u64), |(s, n), (_, v)| match v {
+                spec::ParamValue::U64(x) => (s.saturating_add(*x), n + 1),
+                spec::ParamValue::F64(x) => (s.saturating_add(*x as u64), n + 1),
+                spec::ParamValue::Bool(b) => (s.saturating_add(u64::from(*b)), n + 1),
+                spec::ParamValue::Str(_) => (s, n),
+            });
             sum.checked_div(count).unwrap_or(1)
         })
         .unwrap_or(1);
@@ -79,27 +93,50 @@ pub fn estimated_cost(cell: &spec::Cell, scale: u64) -> u64 {
 /// LPT heuristic: it keeps one huge cell from being picked up last and
 /// dominating the sweep makespan.
 pub fn schedule_order(cells: &[spec::Cell], scale: u64) -> Vec<usize> {
+    schedule_order_in(registry::global(), cells, scale)
+}
+
+/// Like [`schedule_order`], costing cells against an explicit registry.
+pub fn schedule_order_in(reg: &registry::Registry, cells: &[spec::Cell], scale: u64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..cells.len()).collect();
-    let costs: Vec<u64> = cells.iter().map(|c| estimated_cost(c, scale)).collect();
+    let costs: Vec<u64> = cells
+        .iter()
+        .map(|c| estimated_cost_in(reg, c, scale))
+        .collect();
     order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
     order
 }
 
-/// Runs every cell of `scenario` and collects the results.
+/// Runs every cell of `scenario` and collects the results, resolving
+/// workloads in the global registry.
 ///
 /// # Errors
 ///
 /// Fails fast if the scenario does not validate; individual cell failures
 /// are recorded in the result set instead.
 pub fn run_scenario(scenario: &Scenario, opts: &ExecOptions) -> Result<ResultSet, String> {
-    scenario.validate()?;
+    run_scenario_in(registry::global(), scenario, opts)
+}
+
+/// Like [`run_scenario`], against an explicit [`registry::Registry`] —
+/// the entry point for drivers that registered their own workloads.
+///
+/// # Errors
+///
+/// See [`run_scenario`].
+pub fn run_scenario_in(
+    reg: &registry::Registry,
+    scenario: &Scenario,
+    opts: &ExecOptions,
+) -> Result<ResultSet, String> {
+    scenario.validate_in(reg)?;
     install_quiet_cell_hook();
     let cells = scenario.cells();
     let jobs = opts.effective_jobs(cells.len());
     let started = Instant::now();
 
     let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-    let order = schedule_order(&cells, scenario.scale);
+    let order = schedule_order_in(reg, &cells, scenario.scale);
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let total = cells.len();
@@ -112,7 +149,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &ExecOptions) -> Result<ResultSet
                     return;
                 }
                 let idx = order[claim];
-                let result = run_cell(&cells[idx], scenario);
+                let result = run_cell(reg, &cells[idx], scenario);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if !opts.quiet {
                     progress_line(&result, finished, total);
@@ -174,11 +211,11 @@ fn install_quiet_cell_hook() {
     });
 }
 
-fn run_cell(cell: &spec::Cell, scenario: &Scenario) -> CellResult {
+fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario) -> CellResult {
     let started = Instant::now();
     IN_CELL.with(|f| f.set(true));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        registry::run_cell(cell, scenario.scale, scenario.tuning)
+        reg.run_cell(cell, scenario.scale, scenario.tuning)
     }));
     IN_CELL.with(|f| f.set(false));
     let (stats, error) = match outcome {

@@ -302,6 +302,81 @@ fn table2_html(scenario: &Scenario, set: &ResultSet) -> String {
     )
 }
 
+/// Renders the `run --all` report index: one HTML page linking every
+/// figure and results file listed in the manifest (the `manifest.json`
+/// document `commtm-lab run --all` writes). SVG figures embed inline via
+/// `<img>`; the Table II HTML report links through. Deterministic — the
+/// page is a pure function of the manifest.
+pub fn render_index(manifest: &crate::json::Json) -> String {
+    use crate::json::Json;
+    let esc = commtm_plot::svg::esc;
+    let mut sections = String::new();
+    let figures = manifest
+        .get("figures")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for entry in figures {
+        let s = |k: &str| entry.get(k).and_then(Json::as_str).unwrap_or("?");
+        let u = |k: &str| entry.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let ok = entry.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        let figure = s("figure");
+        let media = if figure.ends_with(".svg") {
+            format!(
+                "<a href=\"{0}\"><img src=\"{0}\" alt=\"{1}\"></a>",
+                esc(figure),
+                esc(s("title"))
+            )
+        } else {
+            format!("<p><a href=\"{0}\">open {0}</a></p>", esc(figure))
+        };
+        let _ = writeln!(
+            sections,
+            "<section{warn}>\n<h2>{name}: {title}</h2>\n{media}\n\
+             <p class=\"sub\">{report} report · {cells} cells · scale {scale} · \
+             {seeds} seed(s){flag} · <a href=\"{results}\">results JSON</a></p>\n</section>",
+            warn = if ok { "" } else { " class=\"failed\"" },
+            name = esc(s("name")),
+            title = esc(s("title")),
+            media = media,
+            report = esc(s("report")),
+            cells = u("cells"),
+            scale = u("scale"),
+            seeds = u("seeds"),
+            flag = if ok { "" } else { " · SOME CELLS FAILED" },
+            results = esc(s("results")),
+        );
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>commtm-lab report</title>\n<style>\n\
+         body {{ font-family: {font}; background: {surface}; color: {ink}; \
+         margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }}\n\
+         h1 {{ font-size: 1.2rem; }}\n\
+         h2 {{ font-size: 1rem; margin-bottom: 0.4rem; }}\n\
+         p.sub {{ color: {sub}; font-size: 0.85rem; }}\n\
+         section {{ margin: 2rem 0; border-bottom: 1px solid {grid}; \
+         padding-bottom: 1rem; }}\n\
+         section.failed h2::after {{ content: \" ⚠\"; color: #d03b3b; }}\n\
+         img {{ max-width: 100%; height: auto; }}\n\
+         a {{ color: inherit; }}\n\
+         </style></head><body>\n<h1>commtm-lab report</h1>\n\
+         <p class=\"sub\">generated by {generator} · {count} figure(s) · \
+         see <a href=\"manifest.json\">manifest.json</a></p>\n\
+         {sections}</body></html>\n",
+        font = palette::FONT,
+        surface = palette::SURFACE,
+        ink = palette::INK,
+        sub = palette::INK_SECONDARY,
+        grid = palette::GRID,
+        generator = esc(manifest
+            .get("generator")
+            .and_then(Json::as_str)
+            .unwrap_or("commtm-lab")),
+        count = figures.len(),
+        sections = sections,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

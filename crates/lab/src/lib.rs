@@ -6,10 +6,17 @@
 //!
 //! - [`spec`]: declarative [`Scenario`]s — a builder API and a TOML
 //!   loader ([`toml`]) describing sweeps over `MachineConfig`
-//!   dimensions (threads, [`commtm::Scheme`], workload parameters,
-//!   seeds, and [`commtm::Tuning`] overrides),
-//! - [`registry`]: a name → program registry covering the paper's five
-//!   microbenchmarks and five applications,
+//!   dimensions (threads, [`commtm::Scheme`], typed workload parameters,
+//!   seeds, and [`commtm::Tuning`] overrides). Parameters are typed
+//!   ([`commtm_workloads::ParamValue`]: u64 / f64 / bool / string) and
+//!   validated against each workload's declared schema before anything
+//!   runs,
+//! - [`registry`]: an extensible name → [`commtm_workloads::Workload`]
+//!   registry covering the paper's five microbenchmarks and five
+//!   applications plus the `bank` transfer/audit micro; custom drivers
+//!   register their own implementations
+//!   ([`registry::Registry::register`]) and run them via
+//!   [`exec::run_scenario_in`],
 //! - [`exec`]: a parallel executor that fans independent
 //!   `sim::Machine` runs across host threads with deterministic
 //!   per-cell seeding — results are byte-identical to a serial run,
@@ -54,10 +61,11 @@ pub mod scenarios;
 pub mod spec;
 pub mod toml;
 
-pub use exec::{run_scenario, run_scenario_serial, ExecOptions};
-pub use figures::{figure_file_name, render_figure};
+pub use exec::{run_scenario, run_scenario_in, run_scenario_serial, ExecOptions};
+pub use figures::{figure_file_name, render_figure, render_index};
+pub use registry::Registry;
 pub use results::{diff, summarize, CellResult, CellStats, DiffReport, ResultSet, Summary};
-pub use spec::{Cell, Params, ReportKind, Scenario, WorkloadSpec};
+pub use spec::{Cell, ParamValue, Params, ReportKind, Scenario, WorkloadSpec};
 
 /// The common imports for driving experiments.
 pub mod prelude {

@@ -1,293 +1,333 @@
-//! The workload registry: maps workload names to runnable programs.
+//! The workload registry: maps workload names to [`Workload`]
+//! implementations.
 //!
-//! This is the single place that knows how to turn a name plus integer
-//! parameters into a [`RunReport`] — the figure scenarios, the TOML
-//! loader and the CLI all resolve workloads here. Defaults reproduce the
-//! sizes the original per-figure benchmarks used, scaled by the
-//! scenario's `scale` factor (`scale = 500` roughly corresponds to the
+//! A [`Registry`] is the single place that knows how to turn a name plus
+//! typed parameters into a [`RunReport`] — the figure scenarios, the TOML
+//! loader and the CLI all resolve workloads here. The [`global`] registry
+//! holds the shipped set ([`commtm_workloads::builtins`]); custom drivers
+//! extend their own registry with [`Registry::register`] and run it
+//! through [`crate::exec::run_scenario_in`].
+//!
+//! Workloads describe their parameter surface declaratively (see
+//! [`commtm_workloads::ParamSchema`]): defaults resolve per scale and
+//! thread count, and overrides type-check at [`Scenario::validate`] time
+//! — before a single cell runs. Defaults reproduce the sizes the original
+//! per-figure benchmarks used (`scale = 500` roughly corresponds to the
 //! paper's full 10M-operation runs).
 
-use commtm::{RunReport, Scheme};
-use commtm_workloads::apps::{boruvka, genome, kmeans, ssca2, vacation};
-use commtm_workloads::micro::{counter, list, oput, refcount, topk};
-use commtm_workloads::BaseCfg;
+use std::sync::OnceLock;
 
-use crate::spec::{Cell, Params};
+use commtm::RunReport;
+use commtm_workloads::{BaseCfg, ParamValue, Params, Workload};
 
-/// Micro vs. full application (the paper's Sec. VI vs. Sec. VII split).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum WorkloadKind {
-    /// Sec. VI microbenchmark.
-    Micro,
-    /// Sec. VII application.
-    App,
+use crate::json::Json;
+use crate::spec::{Cell, Scenario};
+
+/// A set of registered workloads, looked up by name.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Box<dyn Workload>>,
 }
 
-/// One registered workload.
-pub struct WorkloadDef {
-    /// Registry name.
-    pub name: &'static str,
-    /// Micro or app.
-    pub kind: WorkloadKind,
-    /// One-line description (shown by `commtm-lab workloads`).
-    pub summary: &'static str,
-    /// Default parameters at a given scale and thread count.
-    pub defaults: fn(scale: u64, threads: usize) -> Params,
-    /// Runs the workload with fully-resolved parameters (see
-    /// [`resolved_params`] / [`run_cell`]). Panics if a parameter is
-    /// missing — the defaults table above is the single source of truth,
-    /// so runners never re-state default values.
-    pub run: fn(base: BaseCfg, params: &Params) -> RunReport,
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry holding every shipped workload.
+    pub fn with_builtins() -> Self {
+        let mut r = Registry::new();
+        for w in commtm_workloads::builtins() {
+            r.register(w);
+        }
+        r
+    }
+
+    /// Registers a workload. Later registrations shadow earlier ones of
+    /// the same name, so drivers can override a builtin.
+    pub fn register(&mut self, workload: Box<dyn Workload>) -> &mut Self {
+        self.entries.retain(|w| w.name() != workload.name());
+        self.entries.push(workload);
+        self
+    }
+
+    /// Looks a workload up by name.
+    pub fn resolve(&self, name: &str) -> Option<&dyn Workload> {
+        self.entries
+            .iter()
+            .find(|w| w.name() == name)
+            .map(AsRef::as_ref)
+    }
+
+    /// All registered workloads, in registration order.
+    pub fn workloads(&self) -> impl Iterator<Item = &dyn Workload> {
+        self.entries.iter().map(AsRef::as_ref)
+    }
+
+    /// All registered workload names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|w| w.name()).collect()
+    }
+
+    /// Fully-resolved parameters for one cell: the workload's schema
+    /// defaults at the given scale and thread count, overridden by the
+    /// cell's (type-checked) explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload name does not resolve or an override fails
+    /// the schema check.
+    pub fn resolved_params(&self, cell: &Cell, scale: u64) -> Result<Params, String> {
+        let def = self
+            .resolve(&cell.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
+        def.schema()
+            .resolve(scale, cell.threads, &cell.params)
+            .map_err(|e| format!("workload {:?}: {e}", cell.workload))
+    }
+
+    /// Runs one cell at the given scale and tuning: resolve, run, then
+    /// check the workload's oracle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload name does not resolve or parameters fail the
+    /// schema check. Simulation failures and oracle violations panic (the
+    /// sweep executor catches panics per cell).
+    pub fn run_cell(
+        &self,
+        cell: &Cell,
+        scale: u64,
+        tuning: commtm::Tuning,
+    ) -> Result<RunReport, String> {
+        let def = self
+            .resolve(&cell.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
+        let params = self.resolved_params(cell, scale)?;
+        let base = BaseCfg::new(cell.threads, cell.scheme)
+            .with_seed(cell.seed)
+            .with_tuning(tuning);
+        Ok(def.run_checked(base, &params))
+    }
+
+    /// The machine-readable schema dump behind `commtm-lab workloads
+    /// --json`: every workload with kind, summary, and per-parameter
+    /// type/default/doc. CI diffs this against a committed golden so
+    /// parameter-surface changes are reviewed deliberately.
+    pub fn schema_json(&self) -> Json {
+        let workloads: Vec<Json> = self
+            .workloads()
+            .map(|w| {
+                let params: Vec<Json> = w
+                    .schema()
+                    .specs()
+                    .iter()
+                    .map(|s| {
+                        let mut pairs = vec![
+                            ("name", Json::Str(s.name.to_string())),
+                            ("type", Json::Str(s.ty.name().to_string())),
+                            ("default", Json::Str(s.default.render())),
+                            ("doc", Json::Str(s.doc.to_string())),
+                        ];
+                        if let Some(choices) = s.choices {
+                            pairs.push((
+                                "choices",
+                                Json::Arr(
+                                    choices
+                                        .iter()
+                                        .map(|c| Json::Str((*c).to_string()))
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        Json::obj(pairs)
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("name", Json::Str(w.name().to_string())),
+                    ("kind", Json::Str(w.kind().name().to_string())),
+                    ("summary", Json::Str(w.summary().to_string())),
+                    ("params", Json::Arr(params)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("generator", Json::Str("commtm-lab workloads --json".into())),
+            ("workloads", Json::Arr(workloads)),
+        ])
+    }
 }
 
-/// Every registered workload: the paper's five microbenchmarks and five
-/// applications.
-pub static WORKLOADS: &[WorkloadDef] = &[
-    WorkloadDef {
-        name: "counter",
-        kind: WorkloadKind::Micro,
-        summary: "shared-counter increments (Fig. 9)",
-        defaults: |scale, _| [("total_incs", 20_000 * scale)].into_iter().collect(),
-        run: |base, p| counter::run(&counter::Cfg::new(base, p.req("total_incs"))),
-    },
-    WorkloadDef {
-        name: "refcount",
-        kind: WorkloadKind::Micro,
-        summary:
-            "bounded non-negative reference counters (Fig. 10); param gather=0 disables gathers",
-        defaults: |scale, _| {
-            [
-                ("total_ops", 8_000 * scale),
-                ("gather", 1),
-                ("objects", 16),
-                ("initial_refs", 3),
-                ("max_refs", 10),
-            ]
-            .into_iter()
-            .collect()
-        },
-        run: |base, p| {
-            let variant = match base.scheme {
-                Scheme::Baseline => refcount::Variant::Baseline,
-                Scheme::CommTm if p.req("gather") != 0 => refcount::Variant::Gather,
-                Scheme::CommTm => refcount::Variant::NoGather,
-            };
-            let mut cfg = refcount::Cfg::new(base, variant, p.req("total_ops"));
-            cfg.objects = p.req("objects") as usize;
-            cfg.initial_refs = p.req("initial_refs");
-            cfg.max_refs = p.req("max_refs");
-            refcount::run(&cfg)
-        },
-    },
-    WorkloadDef {
-        name: "list",
-        kind: WorkloadKind::Micro,
-        summary: "linked-list enqueues/dequeues (Fig. 12); params mixed=0/1, warm_start",
-        defaults: |scale, threads| {
-            [
-                ("total_ops", 8_000 * scale),
-                ("mixed", 1),
-                ("warm_start", 48 * threads as u64),
-            ]
-            .into_iter()
-            .collect()
-        },
-        run: |base, p| {
-            let mixed = p.req("mixed") != 0;
-            let mix = if mixed {
-                list::Mix::Mixed
-            } else {
-                list::Mix::EnqueueOnly
-            };
-            let warm = if mixed { p.req("warm_start") } else { 0 };
-            list::run(&list::Cfg::new(base, p.req("total_ops"), mix).with_warm_start(warm))
-        },
-    },
-    WorkloadDef {
-        name: "oput",
-        kind: WorkloadKind::Micro,
-        summary: "ordered puts / priority updates (Fig. 13)",
-        defaults: |scale, _| [("total_puts", 20_000 * scale)].into_iter().collect(),
-        run: |base, p| oput::run(&oput::Cfg::new(base, p.req("total_puts"))),
-    },
-    WorkloadDef {
-        name: "topk",
-        kind: WorkloadKind::Micro,
-        summary: "top-K set insertions (Fig. 14); param k",
-        defaults: |scale, _| {
-            [("total_inserts", 8_000 * scale), ("k", 100)]
-                .into_iter()
-                .collect()
-        },
-        run: |base, p| topk::run(&topk::Cfg::new(base, p.req("total_inserts"), p.req("k"))),
-    },
-    WorkloadDef {
-        name: "boruvka",
-        kind: WorkloadKind::App,
-        summary: "minimum spanning tree over a road-like graph; params side, diagonal_pct",
-        defaults: |scale, _| {
-            [("side", 10 + 2 * scale.min(20)), ("diagonal_pct", 30)]
-                .into_iter()
-                .collect()
-        },
-        run: |base, p| {
-            let mut cfg = boruvka::Cfg::new(base);
-            cfg.side = p.req("side") as usize;
-            cfg.diagonal_pct = p.req("diagonal_pct");
-            boruvka::run(&cfg)
-        },
-    },
-    WorkloadDef {
-        name: "kmeans",
-        kind: WorkloadKind::App,
-        summary: "clustering with commutative centroid updates; params n, d, k, iters",
-        defaults: |scale, _| {
-            [("n", 192 * scale), ("d", 4), ("k", 8), ("iters", 2)]
-                .into_iter()
-                .collect()
-        },
-        run: |base, p| {
-            let mut cfg = kmeans::Cfg::new(base);
-            cfg.n = p.req("n") as usize;
-            cfg.d = p.req("d") as usize;
-            cfg.k = p.req("k") as usize;
-            cfg.iters = p.req("iters") as usize;
-            kmeans::run(&cfg)
-        },
-    },
-    WorkloadDef {
-        name: "ssca2",
-        kind: WorkloadKind::App,
-        summary: "graph kernel with rare global-metadata updates; params nodes, edges, batch",
-        defaults: |scale, _| {
-            [
-                ("nodes", 1024),
-                ("edges", 2_048 * scale),
-                ("batch", 16),
-                ("work_per_edge", 24),
-            ]
-            .into_iter()
-            .collect()
-        },
-        run: |base, p| {
-            let mut cfg = ssca2::Cfg::new(base);
-            cfg.nodes = p.req("nodes") as usize;
-            cfg.edges = p.req("edges") as usize;
-            cfg.batch = p.req("batch") as usize;
-            cfg.work_per_edge = p.req("work_per_edge");
-            ssca2::run(&cfg)
-        },
-    },
-    WorkloadDef {
-        name: "genome",
-        kind: WorkloadKind::App,
-        summary: "sequence dedup over a hash set with gathers; params segments, unique, buckets",
-        defaults: |scale, _| {
-            [
-                ("segments", 2_000 * scale),
-                ("unique", 200 * scale),
-                ("buckets", 512 * scale),
-            ]
-            .into_iter()
-            .collect()
-        },
-        run: |base, p| {
-            let mut cfg = genome::Cfg::new(base);
-            cfg.segments = p.req("segments");
-            cfg.unique = p.req("unique");
-            cfg.buckets = p.req("buckets");
-            genome::run(&cfg)
-        },
-    },
-    WorkloadDef {
-        name: "vacation",
-        kind: WorkloadKind::App,
-        summary: "travel reservations with bounded remaining-space counters; params tasks, items",
-        defaults: |scale, _| {
-            [
-                ("tasks", 600 * scale),
-                ("items", 64),
-                ("query_pct", 60),
-                ("make_pct", 90),
-            ]
-            .into_iter()
-            .collect()
-        },
-        run: |base, p| {
-            let mut cfg = vacation::Cfg::new(base);
-            cfg.tasks = p.req("tasks");
-            cfg.items = p.req("items");
-            cfg.query_pct = p.req("query_pct");
-            cfg.make_pct = p.req("make_pct");
-            vacation::run(&cfg)
-        },
-    },
-];
-
-/// Looks a workload up by name.
-pub fn resolve(name: &str) -> Option<&'static WorkloadDef> {
-    WORKLOADS.iter().find(|w| w.name == name)
+/// The process-wide registry of shipped workloads.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::with_builtins)
 }
 
-/// All registered workload names, in registry order.
+/// Looks a workload up in the [`global`] registry.
+pub fn resolve(name: &str) -> Option<&'static dyn Workload> {
+    global().resolve(name)
+}
+
+/// All workload names in the [`global`] registry.
 pub fn names() -> Vec<&'static str> {
-    WORKLOADS.iter().map(|w| w.name).collect()
+    global().entries.iter().map(|w| w.name()).collect()
 }
 
-/// Fully-resolved parameters for one cell: registry defaults at the given
-/// scale, overridden by the cell's explicit parameters.
-pub fn resolved_params(cell: &Cell, scale: u64) -> Result<Params, String> {
-    let def =
-        resolve(&cell.workload).ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
-    Ok(((def.defaults)(scale, cell.threads)).overridden_by(&cell.params))
-}
-
-/// Runs one cell at the given scale and tuning.
+/// [`Registry::resolved_params`] against the [`global`] registry.
 ///
 /// # Errors
 ///
-/// Fails if the workload name does not resolve.
+/// See [`Registry::resolved_params`].
+pub fn resolved_params(cell: &Cell, scale: u64) -> Result<Params, String> {
+    global().resolved_params(cell, scale)
+}
+
+/// [`Registry::run_cell`] against the [`global`] registry.
+///
+/// # Errors
+///
+/// See [`Registry::run_cell`].
 pub fn run_cell(cell: &Cell, scale: u64, tuning: commtm::Tuning) -> Result<RunReport, String> {
-    let def =
-        resolve(&cell.workload).ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
-    let params = resolved_params(cell, scale)?;
-    let base = BaseCfg::new(cell.threads, cell.scheme)
-        .with_seed(cell.seed)
-        .with_tuning(tuning);
-    Ok((def.run)(base, &params))
+    global().run_cell(cell, scale, tuning)
+}
+
+/// Applies one `key=value` CLI parameter override to every workload spec
+/// in `scenario` whose schema declares `key`, parsing `value` per the
+/// declared type (so `--param mix=audit-heavy` and `--param gather=false`
+/// both work without quoting games).
+///
+/// # Errors
+///
+/// Fails when the argument is not `key=value`, when no swept workload
+/// declares the parameter (listing each workload's valid parameters),
+/// when the value does not parse as the declared type, or when the
+/// override would flatten specs that are *deliberately differentiated*
+/// on this parameter (two or more specs carrying distinct explicit
+/// values) — silently running identical configurations under distinct
+/// series labels would mislabel the figure.
+pub fn apply_param_override(
+    registry: &Registry,
+    scenario: &mut Scenario,
+    kv: &str,
+) -> Result<(), String> {
+    let (key, raw) = kv
+        .split_once('=')
+        .ok_or_else(|| format!("--param wants key=value, got {kv:?}"))?;
+    let (key, raw) = (key.trim(), raw.trim());
+    let explicit: Vec<&ParamValue> = scenario
+        .workloads
+        .iter()
+        .filter(|s| {
+            registry
+                .resolve(&s.workload)
+                .is_some_and(|d| d.schema().spec(key).is_some())
+        })
+        .filter_map(|s| s.params.get(key))
+        .collect();
+    if explicit.len() >= 2 && explicit.windows(2).any(|w| w[0] != w[1]) {
+        return Err(format!(
+            "--param {key}: the scenario's workload specs carry distinct explicit \
+             values for {key:?} ({}); overriding all of them would run identical \
+             configurations under different labels — edit the scenario instead",
+            explicit
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    let mut applied = false;
+    for spec in &mut scenario.workloads {
+        let Some(def) = registry.resolve(&spec.workload) else {
+            continue; // validate() reports unknown workloads with context
+        };
+        let schema = def.schema();
+        let Some(pspec) = schema.spec(key) else {
+            continue;
+        };
+        let value = parse_cli_value(pspec.ty, raw).map_err(|e| {
+            format!(
+                "--param {key}: {e} (workload {:?} declares {key} as {})",
+                spec.workload,
+                pspec.ty.name()
+            )
+        })?;
+        // Route through the schema so choice restrictions apply here, not
+        // mid-sweep.
+        let coerced = commtm_workloads::ParamSchema::coerce(pspec, &value)
+            .map_err(|e| format!("--param {key}: {e}"))?;
+        spec.params.set(key, coerced);
+        applied = true;
+    }
+    if !applied {
+        let mut msg = format!("--param {key}: no swept workload declares {key:?};");
+        for spec in &scenario.workloads {
+            if let Some(def) = registry.resolve(&spec.workload) {
+                msg.push_str(&format!(
+                    "\n  {} accepts: {}",
+                    spec.workload,
+                    def.schema().names().join(", ")
+                ));
+            }
+        }
+        return Err(msg);
+    }
+    Ok(())
+}
+
+/// Parses a CLI string as a typed parameter value.
+fn parse_cli_value(ty: commtm_workloads::ParamType, raw: &str) -> Result<ParamValue, String> {
+    use commtm_workloads::ParamType;
+    match ty {
+        ParamType::U64 => raw
+            .parse::<u64>()
+            .map(ParamValue::U64)
+            .map_err(|_| format!("{raw:?} is not a u64")),
+        ParamType::F64 => raw
+            .parse::<f64>()
+            .map(ParamValue::F64)
+            .map_err(|_| format!("{raw:?} is not an f64")),
+        ParamType::Bool => match raw {
+            "true" | "1" => Ok(ParamValue::Bool(true)),
+            "false" | "0" => Ok(ParamValue::Bool(false)),
+            _ => Err(format!("{raw:?} is not a bool (true/false/1/0)")),
+        },
+        ParamType::Str => Ok(ParamValue::Str(raw.to_string())),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::{Scenario, WorkloadSpec};
+    use commtm_workloads::WorkloadKind;
 
     /// Satellite requirement: every micro and app is resolvable by name
-    /// with its default parameters.
+    /// with a non-empty schema.
     #[test]
-    fn every_workload_resolves_by_name_with_defaults() {
-        let micros = ["counter", "refcount", "list", "oput", "topk"];
+    fn every_workload_resolves_by_name_with_a_schema() {
+        let micros = ["counter", "refcount", "list", "oput", "topk", "bank"];
         let apps = ["boruvka", "vacation", "kmeans", "genome", "ssca2"];
         for name in micros {
             let def = resolve(name).unwrap_or_else(|| panic!("micro {name} must resolve"));
-            assert_eq!(def.kind, WorkloadKind::Micro, "{name} registered as micro");
-            assert!(
-                !(def.defaults)(1, 4).is_empty(),
-                "{name} has default parameters"
+            assert_eq!(
+                def.kind(),
+                WorkloadKind::Micro,
+                "{name} registered as micro"
             );
+            assert!(!def.schema().specs().is_empty(), "{name} declares params");
         }
         for name in apps {
             let def = resolve(name).unwrap_or_else(|| panic!("app {name} must resolve"));
-            assert_eq!(def.kind, WorkloadKind::App, "{name} registered as app");
-            assert!(
-                !(def.defaults)(1, 4).is_empty(),
-                "{name} has default parameters"
-            );
+            assert_eq!(def.kind(), WorkloadKind::App, "{name} registered as app");
+            assert!(!def.schema().specs().is_empty(), "{name} declares params");
         }
         assert_eq!(
-            WORKLOADS.len(),
+            names().len(),
             micros.len() + apps.len(),
-            "registry is exactly these ten"
+            "registry is exactly these eleven"
         );
         assert!(resolve("not-a-workload").is_none());
     }
@@ -295,18 +335,15 @@ mod tests {
     #[test]
     fn defaults_scale_with_the_scale_factor() {
         let counter = resolve("counter").unwrap();
-        let d1 = (counter.defaults)(1, 4);
-        let d5 = (counter.defaults)(5, 4);
-        assert_eq!(
-            d5.get("total_incs"),
-            Some(5 * d1.get("total_incs").unwrap())
-        );
+        let d1 = counter.schema().resolve(1, 4, &Params::new()).unwrap();
+        let d5 = counter.schema().resolve(5, 4, &Params::new()).unwrap();
+        assert_eq!(d5.u64("total_incs"), 5 * d1.u64("total_incs"));
     }
 
     #[test]
     fn run_cell_executes_and_overrides_params() {
         let scn = Scenario::new("t", "t")
-            .workload(WorkloadSpec::named("counter").param("total_incs", 60))
+            .workload(WorkloadSpec::named("counter").param("total_incs", 60u64))
             .threads(&[3])
             .seeds(&[42]);
         let cells = scn.cells();
@@ -315,5 +352,149 @@ mod tests {
         assert_eq!(report.commits(), 60);
         let report2 = run_cell(&cells[1], 1, Default::default()).unwrap();
         assert_eq!(report2.commits(), 60);
+    }
+
+    #[test]
+    fn bank_runs_with_a_string_mix_param() {
+        let scn = Scenario::new("t", "t")
+            .workload(
+                WorkloadSpec::named("bank")
+                    .param("total_ops", 80u64)
+                    .param("mix", "audit-heavy"),
+            )
+            .threads(&[2])
+            .seeds(&[7]);
+        scn.validate().unwrap();
+        let report = run_cell(&scn.cells()[0], 1, Default::default()).unwrap();
+        // 80 transfer/audit ops, plus the balance-seeding transactions.
+        assert!(report.commits() >= 80);
+    }
+
+    #[test]
+    fn cli_param_overrides_are_typed_and_scoped() {
+        let reg = global();
+        let mut scn = Scenario::new("t", "t")
+            .workload(WorkloadSpec::named("bank"))
+            .workload(WorkloadSpec::named("counter"));
+        // A param only bank declares: applied to bank, counter untouched.
+        apply_param_override(reg, &mut scn, "mix=transfer-heavy").unwrap();
+        assert_eq!(
+            scn.workloads[0].params.get("mix").and_then(|v| v.as_str()),
+            Some("transfer-heavy")
+        );
+        assert!(scn.workloads[1].params.is_empty());
+        // Typed parsing: u64 params reject non-numbers.
+        let err = apply_param_override(reg, &mut scn, "total_incs=lots").unwrap_err();
+        assert!(err.contains("not a u64"), "{err}");
+        // Choice restrictions fail at override time, not mid-sweep.
+        let err = apply_param_override(reg, &mut scn, "mix=bogus").unwrap_err();
+        assert!(err.contains("must be one of"), "{err}");
+        // Unknown keys list each workload's valid params.
+        let err = apply_param_override(reg, &mut scn, "nope=1").unwrap_err();
+        assert!(err.contains("bank accepts:"), "{err}");
+        assert!(err.contains("counter accepts: total_incs"), "{err}");
+        // Malformed argument.
+        assert!(apply_param_override(reg, &mut scn, "justakey").is_err());
+    }
+
+    #[test]
+    fn cli_param_overrides_refuse_to_flatten_differentiated_specs() {
+        let reg = global();
+        // bank.toml-shaped: three specs deliberately distinct on `mix`.
+        let mut scn = Scenario::new("t", "t")
+            .workload(
+                WorkloadSpec::named("bank")
+                    .label("a")
+                    .param("mix", "transfer-heavy"),
+            )
+            .workload(
+                WorkloadSpec::named("bank")
+                    .label("b")
+                    .param("mix", "audit-heavy"),
+            );
+        let err = apply_param_override(reg, &mut scn, "mix=mixed").unwrap_err();
+        assert!(err.contains("distinct explicit values"), "{err}");
+        // A parameter the specs do NOT differ on still overrides both.
+        apply_param_override(reg, &mut scn, "total_ops=500").unwrap();
+        assert!(scn
+            .workloads
+            .iter()
+            .all(|w| w.params.get_u64("total_ops") == Some(500)));
+        // Specs that agree explicitly may be overridden together too.
+        let mut scn = Scenario::new("t", "t")
+            .workload(WorkloadSpec::named("bank").label("a").param("mix", "mixed"))
+            .workload(WorkloadSpec::named("bank").label("b").param("mix", "mixed"));
+        apply_param_override(reg, &mut scn, "mix=audit-heavy").unwrap();
+        assert!(scn
+            .workloads
+            .iter()
+            .all(|w| w.params.get("mix").and_then(|v| v.as_str()) == Some("audit-heavy")));
+    }
+
+    #[test]
+    fn registries_are_extensible_and_shadowable() {
+        struct Twice;
+        impl Workload for Twice {
+            fn name(&self) -> &'static str {
+                "counter" // shadows the builtin
+            }
+            fn kind(&self) -> WorkloadKind {
+                WorkloadKind::Micro
+            }
+            fn summary(&self) -> &'static str {
+                "test shadow"
+            }
+            fn schema(&self) -> commtm_workloads::ParamSchema {
+                commtm_workloads::ParamSchema::new().u64("total_incs", 10, "n")
+            }
+            fn run(&self, base: BaseCfg, params: &Params) -> commtm_workloads::RunOutcome {
+                commtm_workloads::micro::counter::execute(
+                    &commtm_workloads::micro::counter::Cfg::new(base, 2 * params.u64("total_incs")),
+                )
+            }
+            fn oracle(
+                &self,
+                base: &BaseCfg,
+                params: &Params,
+                run: &mut commtm_workloads::RunOutcome,
+            ) {
+                commtm_workloads::micro::counter::check(
+                    &commtm_workloads::micro::counter::Cfg::new(
+                        *base,
+                        2 * params.u64("total_incs"),
+                    ),
+                    run,
+                );
+            }
+        }
+        let mut reg = Registry::with_builtins();
+        reg.register(Box::new(Twice));
+        assert_eq!(reg.names().len(), global().names().len(), "shadow, not add");
+        let scn = Scenario::new("t", "t")
+            .workload(WorkloadSpec::named("counter").param("total_incs", 30u64))
+            .threads(&[2])
+            .seeds(&[1]);
+        let report = reg
+            .run_cell(&scn.cells()[0], 1, Default::default())
+            .unwrap();
+        assert_eq!(report.commits(), 60, "the shadowing workload ran");
+    }
+
+    #[test]
+    fn schema_json_names_every_workload_and_param_type() {
+        let dump = global().schema_json();
+        let workloads = dump.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(workloads.len(), names().len());
+        let bank = workloads
+            .iter()
+            .find(|w| w.get("name").and_then(Json::as_str) == Some("bank"))
+            .expect("bank in dump");
+        let params = bank.get("params").unwrap().as_arr().unwrap();
+        let mix = params
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some("mix"))
+            .expect("mix param");
+        assert_eq!(mix.get("type").and_then(Json::as_str), Some("string"));
+        assert!(mix.get("choices").is_some(), "mix lists its named values");
     }
 }

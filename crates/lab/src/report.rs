@@ -453,7 +453,7 @@ fn render_table2(set: &ResultSet, out: &mut String) {
             .find(|c| c.cell.label == label)
             .is_some_and(|c| {
                 crate::registry::resolve(&c.cell.workload)
-                    .is_some_and(|d| d.kind == crate::registry::WorkloadKind::App)
+                    .is_some_and(|d| d.kind() == commtm_workloads::WorkloadKind::App)
             });
         if !app {
             continue;

@@ -8,7 +8,7 @@
 use commtm::{RunReport, WasteBucket};
 
 use crate::json::{parse, Json};
-use crate::spec::{parse_scheme, scheme_name, Cell, Params};
+use crate::spec::{parse_scheme, scheme_name, Cell, ParamValue, Params};
 
 /// The per-cell statistics exported to JSON/CSV, extracted from a
 /// [`RunReport`].
@@ -146,6 +146,28 @@ impl CellStats {
             total_ops: v.get("total_ops").and_then(Json::as_u64).unwrap_or(0),
         })
     }
+}
+
+/// A typed parameter value as it appears in result files: u64 params emit
+/// as plain integers (byte-compatible with pre-typed result files), the
+/// other types as their natural JSON forms.
+fn param_to_json(v: &ParamValue) -> Json {
+    match v {
+        ParamValue::U64(x) => Json::U64(*x),
+        ParamValue::F64(x) => Json::F64(*x),
+        ParamValue::Bool(b) => Json::Bool(*b),
+        ParamValue::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn param_from_json(v: &Json) -> Result<ParamValue, String> {
+    Ok(match v {
+        Json::U64(x) => ParamValue::U64(*x),
+        Json::F64(x) => ParamValue::F64(*x),
+        Json::Bool(b) => ParamValue::Bool(*b),
+        Json::Str(s) => ParamValue::Str(s.clone()),
+        other => return Err(format!("unsupported param value {other:?}")),
+    })
 }
 
 /// A statistic aggregated over the seed replicas of one grid point.
@@ -383,7 +405,7 @@ impl ResultSet {
                             c.cell
                                 .params
                                 .iter()
-                                .map(|(n, v)| (n.to_string(), Json::U64(v)))
+                                .map(|(n, v)| (n.to_string(), param_to_json(v)))
                                 .collect(),
                         ),
                     ));
@@ -453,7 +475,7 @@ impl ResultSet {
             let mut params = Params::new();
             if let Some(Json::Obj(pairs)) = c.get("params") {
                 for (n, pv) in pairs {
-                    params.set(n, pv.as_u64().ok_or("non-integer param")?);
+                    params.set(n, param_from_json(pv)?);
                 }
             }
             let stats = match c.get("stats") {
@@ -709,7 +731,7 @@ mod tests {
             label: "counter".into(),
             params: {
                 let mut p = Params::new();
-                p.set("total_incs", 60);
+                p.set("total_incs", 60u64);
                 p
             },
             threads: 4,
@@ -745,7 +767,7 @@ mod tests {
         let text = set.to_json().pretty();
         let back = ResultSet::from_json_str(&text).unwrap();
         assert_eq!(back.cells[0].stats, set.cells[0].stats);
-        assert_eq!(back.cells[0].cell.params.get("total_incs"), Some(60));
+        assert_eq!(back.cells[0].cell.params.get_u64("total_incs"), Some(60));
         assert_eq!(back.cells[0].wall_ms, 99);
         assert_eq!(back.scenario, "t");
     }

@@ -71,82 +71,7 @@ pub fn parse_scheme(name: &str) -> Result<Scheme, String> {
     }
 }
 
-/// Named integer parameters for one workload (sizes, mixes, percentages).
-///
-/// Later entries shadow earlier ones, so overrides are "set wins".
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Params(Vec<(String, u64)>);
-
-impl Params {
-    /// An empty parameter set.
-    pub fn new() -> Self {
-        Params(Vec::new())
-    }
-
-    /// Sets (or shadows) a parameter.
-    pub fn set(&mut self, name: &str, value: u64) -> &mut Self {
-        self.0.retain(|(n, _)| n != name);
-        self.0.push((name.to_string(), value));
-        self
-    }
-
-    /// Looks a parameter up.
-    pub fn get(&self, name: &str) -> Option<u64> {
-        self.0
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
-    }
-
-    /// Looks a parameter up, falling back to `default`.
-    pub fn get_or(&self, name: &str, default: u64) -> u64 {
-        self.get(name).unwrap_or(default)
-    }
-
-    /// Looks a required parameter up.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the parameter is absent. Workload runners use this so
-    /// that every default value lives in exactly one place (the registry
-    /// defaults table); callers resolve parameters first via
-    /// [`crate::registry::resolved_params`] / [`crate::registry::run_cell`].
-    pub fn req(&self, name: &str) -> u64 {
-        self.get(name).unwrap_or_else(|| {
-            panic!("missing workload parameter {name:?}; resolve params through the registry")
-        })
-    }
-
-    /// Iterates parameters in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.0.iter().map(|(n, v)| (n.as_str(), *v))
-    }
-
-    /// Whether no parameters are set.
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-
-    /// Merges `overrides` on top of `self` (overrides win).
-    pub fn overridden_by(&self, overrides: &Params) -> Params {
-        let mut out = self.clone();
-        for (n, v) in overrides.iter() {
-            out.set(n, v);
-        }
-        out
-    }
-}
-
-impl FromIterator<(&'static str, u64)> for Params {
-    fn from_iter<I: IntoIterator<Item = (&'static str, u64)>>(iter: I) -> Self {
-        let mut p = Params::new();
-        for (n, v) in iter {
-            p.set(n, v);
-        }
-        p
-    }
-}
+pub use commtm_workloads::{ParamType, ParamValue, Params};
 
 /// One workload entry in a scenario: a registry name, an optional display
 /// label (for figures that run the same workload under several parameter
@@ -184,8 +109,9 @@ impl WorkloadSpec {
         self
     }
 
-    /// Overrides one parameter.
-    pub fn param(mut self, name: &str, value: u64) -> Self {
+    /// Overrides one parameter with a typed value (`u64`, `f64`, `bool`,
+    /// `&str`, or a [`ParamValue`]).
+    pub fn param(mut self, name: &str, value: impl Into<ParamValue>) -> Self {
         self.params.set(name, value);
         self
     }
@@ -392,12 +318,26 @@ impl Scenario {
         }
     }
 
-    /// Validates the grid dimensions.
+    /// Validates the grid dimensions against the global workload
+    /// registry.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first empty or invalid dimension.
+    /// Returns a description of the first empty or invalid dimension,
+    /// unknown workload, or parameter override that fails its workload's
+    /// schema.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_in(crate::registry::global())
+    }
+
+    /// Like [`Scenario::validate`], against an explicit
+    /// [`crate::registry::Registry`] (custom drivers with their own
+    /// registered workloads).
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::validate`].
+    pub fn validate_in(&self, registry: &crate::registry::Registry) -> Result<(), String> {
         if self.workloads.is_empty() {
             return Err(format!("scenario {:?} has no workloads", self.name));
         }
@@ -461,27 +401,23 @@ impl Scenario {
             }
         }
         for w in &self.workloads {
-            let Some(def) = crate::registry::resolve(&w.workload) else {
+            let Some(def) = registry.resolve(&w.workload) else {
                 return Err(format!(
                     "scenario {:?}: unknown workload {:?} (known: {})",
                     self.name,
                     w.workload,
-                    crate::registry::names().join(", ")
+                    registry.names().join(", ")
                 ));
             };
-            // The defaults table enumerates every parameter a workload
-            // reads; an override outside it is a typo that would silently
-            // run the default configuration.
-            let known = (def.defaults)(1, 1);
-            for (param, _) in w.params.iter() {
-                if known.get(param).is_none() {
-                    return Err(format!(
-                        "scenario {:?}: workload {:?} has no parameter {param:?} (known: {})",
-                        self.name,
-                        w.workload,
-                        known.iter().map(|(n, _)| n).collect::<Vec<_>>().join(", ")
-                    ));
-                }
+            // The schema declares every parameter a workload reads, with
+            // its type; an override outside it is a typo that would
+            // silently run the default configuration, and an ill-typed one
+            // would otherwise surface as a panic in the middle of a sweep.
+            if let Err(e) = def.schema().check(&w.params) {
+                return Err(format!(
+                    "scenario {:?}: workload {:?} {e}",
+                    self.name, w.workload
+                ));
             }
         }
         Ok(())
@@ -566,13 +502,38 @@ mod tests {
     #[test]
     fn params_shadow_and_merge() {
         let mut base = Params::new();
-        base.set("k", 100).set("n", 5);
+        base.set("k", 100u64).set("n", 5u64);
         let mut over = Params::new();
-        over.set("k", 7);
+        over.set("k", 7u64);
         let merged = base.overridden_by(&over);
-        assert_eq!(merged.get("k"), Some(7));
-        assert_eq!(merged.get("n"), Some(5));
-        assert_eq!(merged.get_or("missing", 3), 3);
+        assert_eq!(merged.get_u64("k"), Some(7));
+        assert_eq!(merged.get_u64("n"), Some(5));
+        assert_eq!(merged.get("missing"), None);
+    }
+
+    #[test]
+    fn validation_rejects_ill_typed_params() {
+        // A string where the schema wants a u64 fails at validate time,
+        // naming the declared type — never a mid-sweep panic.
+        let s = Scenario::new("t", "t")
+            .workload(WorkloadSpec::named("counter").param("total_incs", "many"));
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("must be u64"), "{err}");
+        // A bank mix outside the declared choices is rejected with the
+        // accepted list.
+        let s = Scenario::new("t", "t").workload(WorkloadSpec::named("bank").param("mix", "wild"));
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("must be one of"), "{err}");
+        assert!(err.contains("transfer-heavy"), "{err}");
+        // Typed values that match their schema pass.
+        let ok = Scenario::new("t", "t")
+            .workload(
+                WorkloadSpec::named("bank")
+                    .param("mix", "audit-heavy")
+                    .param("total_ops", 50u64),
+            )
+            .workload(WorkloadSpec::named("refcount").param("gather", false));
+        ok.validate().unwrap();
     }
 
     #[test]

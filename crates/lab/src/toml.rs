@@ -29,7 +29,7 @@
 //! let scn = commtm_lab::toml::scenario_from_toml(text).unwrap();
 //! assert_eq!(scn.threads, vec![1, 2, 4]);
 //! assert_eq!(scn.tuning.mem_latency, Some(200));
-//! assert_eq!(scn.workloads[0].params.get("total_incs"), Some(500));
+//! assert_eq!(scn.workloads[0].params.get_u64("total_incs"), Some(500));
 //! ```
 
 use commtm::Tuning;
@@ -229,7 +229,9 @@ fn split_array(inner: &str) -> Result<Vec<&str>, String> {
 /// `threads`, `schemes`, `seeds`, `scale`, `report`; a `[tuning]` table
 /// with [`Tuning`] field names; and one `[[workload]]` table per
 /// workload with `name` (required), optional `label`, an optional
-/// `schemes` restriction, and any integer parameter overrides.
+/// `schemes` restriction, and any parameter overrides. Parameter values
+/// are typed — integers, floats, booleans and strings — and are checked
+/// against the workload's declared schema during validation.
 ///
 /// # Errors
 ///
@@ -372,10 +374,19 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec, String> {
                 );
             }
             param => {
-                let int = value
-                    .as_u64()
-                    .ok_or_else(|| format!("workload param {param:?} must be an integer"))?;
-                spec.params.set(param, int);
+                let typed = match value {
+                    Json::U64(v) => commtm_workloads::ParamValue::U64(*v),
+                    Json::F64(v) => commtm_workloads::ParamValue::F64(*v),
+                    Json::Bool(b) => commtm_workloads::ParamValue::Bool(*b),
+                    Json::Str(s) => commtm_workloads::ParamValue::Str(s.clone()),
+                    other => {
+                        return Err(format!(
+                            "workload param {param:?} must be an integer, float, bool or \
+                             string (got {other:?})"
+                        ))
+                    }
+                };
+                spec.params.set(param, typed);
             }
         }
     }
@@ -422,9 +433,9 @@ gather = 0
         assert_eq!(scn.tuning.mem_latency, Some(272));
         assert_eq!(scn.tuning.backoff_cap, Some(4));
         assert_eq!(scn.workloads.len(), 2);
-        assert_eq!(scn.workloads[0].params.get("total_incs"), Some(500));
+        assert_eq!(scn.workloads[0].params.get_u64("total_incs"), Some(500));
         assert_eq!(scn.workloads[1].display(), "refcount w/o gather");
-        assert_eq!(scn.workloads[1].params.get("gather"), Some(0));
+        assert_eq!(scn.workloads[1].params.get_u64("gather"), Some(0));
     }
 
     #[test]

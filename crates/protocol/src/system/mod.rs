@@ -12,7 +12,7 @@ use commtm_cache::{CacheArray, CohState, EvictionClass, L1Meta, PrivMeta, Slot};
 use commtm_mem::{Addr, CoreId, LabelId, LineAddr, LineData, MainMemory};
 
 use crate::config::ProtoConfig;
-use crate::dir::L3Meta;
+use crate::dir::{DirState, L3Meta};
 use crate::label::LabelTable;
 use crate::stats::ProtoStats;
 use crate::types::{AbortKind, Access, AccessOutcome, MemOp, ProtoEvent, TxTable};
@@ -146,6 +146,24 @@ impl MemSystem {
         }
     }
 
+    /// The logical word-0 value of a line, independent of where its bits
+    /// live: the L3/memory copy for uncached and shared lines, the owner's
+    /// non-speculative copy for exclusive lines, and the *sum* of the
+    /// sharers' non-speculative partials for ADD-reducible lines. A
+    /// conservation probe for tests and diagnostics — speculative state
+    /// never contributes, so the value only moves on commits.
+    pub fn logical_w0(&self, line: LineAddr) -> u64 {
+        let bank = self.bank_of(line);
+        let Some(e) = self.l3[bank].peek(line) else {
+            return self.mem.read_line(line)[0];
+        };
+        match e.meta.dir {
+            DirState::Uncached | DirState::Shared(_) => e.data[0],
+            DirState::Exclusive(o) => self.priv_nonspec(o, line)[0],
+            DirState::Reducible(_, s) => s.iter().map(|t| self.priv_nonspec(t, line)[0]).sum(),
+        }
+    }
+
     /// Like [`MemSystem::access`], but appends the access's events to a
     /// caller-supplied buffer instead of returning a fresh `Vec`. The
     /// simulation loop threads one reusable buffer through every core step
@@ -220,11 +238,21 @@ impl MemSystem {
         for line in p.spec_lines.drain(..) {
             let l2_data = p.l2.peek(line).map(|e| e.data);
             if let Some(e) = p.l1.get(line) {
+                if trace_enabled() {
+                    eprintln!(
+                        "    [proto] rollback {core:?} {line} l1_w0={:x} dirty_data={} l2_w0={:?}",
+                        e.data[0],
+                        e.meta.spec.dirty_data,
+                        l2_data.map(|d| d[0])
+                    );
+                }
                 if e.meta.spec.dirty_data {
                     e.data = l2_data.expect("inclusion: spec L1 line must be in L2");
                     e.meta.dirty = false;
                 }
                 e.meta.spec.clear();
+            } else if trace_enabled() {
+                eprintln!("    [proto] rollback {core:?} {line} (not in L1)");
             }
         }
     }
@@ -549,8 +577,14 @@ impl MemSystem {
             }
         }
 
-        // E -> M upgrade on plain stores happens silently at the core.
-        if let MemOp::Store(_) = op {
+        // E -> M upgrade on stores happens silently at the core. Labeled
+        // stores upgrade too: a StoreL on an E copy (a plain read brought
+        // the line in exclusively, then a labeled RMW hit it — e.g. an
+        // audit pass followed by a transfer) dirties the full value just
+        // like a plain store, and leaving the line "E" would let the
+        // read-share downgrade and eviction flows treat it as clean and
+        // silently discard the committed update.
+        if op.is_store() {
             let p = &mut self.privs[core.index()];
             p.l2.touch(l2_slot);
             let l2e = p.l2.entry_mut(l2_slot);

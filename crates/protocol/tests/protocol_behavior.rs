@@ -377,6 +377,38 @@ fn commit_makes_speculative_writes_durable() {
     m.check_invariants().unwrap();
 }
 
+/// Regression: a labeled store hitting an E-state copy (a plain read
+/// brought the line in exclusively, then a labeled RMW hit it locally)
+/// must upgrade the line to M like a plain store would. The line used to
+/// stay "E", so the read-share downgrade treated it as clean, skipped the
+/// L3 writeback, and the committed update was silently resurrected from
+/// the stale L3 copy once the S copies died — creating value out of thin
+/// air in ADD workloads with read-then-update access patterns.
+#[test]
+fn labeled_store_on_exclusive_copy_upgrades_to_m() {
+    let (mut m, mut txs) = sys(4);
+    m.poke_word(A, 128);
+    // Plain read: sole sharer takes the line in E.
+    assert_eq!(m.access(c(0), MemOp::Load, A, &mut txs).value, 128);
+    assert_eq!(m.line_state(c(0), A.line()).0, CohState::E);
+    // Labeled RMW on the exclusive copy, committed.
+    txs.begin(c(0), 1);
+    assert_eq!(m.access(c(0), MemOp::LoadL(ADD), A, &mut txs).value, 128);
+    m.access(c(0), MemOp::StoreL(ADD, 126), A, &mut txs);
+    m.commit_core(c(0));
+    txs.end(c(0));
+    assert_eq!(
+        m.line_state(c(0), A.line()).0,
+        CohState::M,
+        "dirtied copy is M"
+    );
+    // Another core's plain read downgrades the owner: the committed value
+    // must be written back and served, not the stale memory copy.
+    assert_eq!(m.access(c(1), MemOp::Load, A, &mut txs).value, 126);
+    assert_eq!(m.logical_w0(A.line()), 126, "no resurrection from stale L3");
+    m.check_invariants().unwrap();
+}
+
 #[test]
 fn u_state_counts_as_getu_traffic() {
     let (mut m, mut txs) = sys(2);

@@ -20,7 +20,8 @@
 use commtm::prelude::*;
 
 use crate::ds::emit_barrier;
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, ParamValue, Params};
 
 /// Configuration for boruvka.
 #[derive(Clone, Copy, Debug)]
@@ -113,7 +114,8 @@ pub fn kruskal_set(g: &Graph) -> std::collections::HashSet<usize> {
 /// Like [`run`] but returns the marked edge set without asserting (debug
 /// aid).
 pub fn run_collect(cfg: &Cfg) -> std::collections::HashSet<usize> {
-    run_inner(cfg, false).1
+    let mut out = execute(cfg);
+    marked_edges(&mut out)
 }
 
 /// Kruskal's algorithm on the host graph (the oracle).
@@ -172,10 +174,23 @@ fn find_label(c: &mut TxCtx<'_, '_>, labels_base: Addr, mut x: u64, nodes: u64) 
 ///
 /// Panics if the computed spanning tree differs from the oracle.
 pub fn run(cfg: &Cfg) -> RunReport {
-    run_inner(cfg, true).0
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
 }
 
-fn run_inner(cfg: &Cfg, check: bool) -> (RunReport, std::collections::HashSet<usize>) {
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    weight: Addr,
+    marks: Addr,
+    nodes: u64,
+    nedges: u64,
+    /// Kruskal's MST weight over the generated input graph.
+    oracle_weight: u64,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let g = road_graph(cfg.side, cfg.diagonal_pct, cfg.base.seed);
     let oracle = kruskal_weight(&g);
     let (nodes, nedges) = (g.nodes as u64, g.edges.len() as u64);
@@ -341,26 +356,103 @@ fn run_inner(cfg: &Cfg, check: bool) -> (RunReport, std::collections::HashSet<us
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux {
+            weight,
+            marks,
+            nodes,
+            nedges,
+            oracle_weight: oracle,
+        }),
+    }
+}
 
-    // Oracle: MST weight equals Kruskal's; marked edges form a spanning
-    // tree (nodes - 1 of them for a connected graph).
-    let got = m.read_word(weight);
+/// The edge indices marked as MST members by the finished run.
+fn marked_edges(out: &mut RunOutcome) -> std::collections::HashSet<usize> {
+    let &Aux { marks, nedges, .. } = out.aux.downcast_ref::<Aux>().expect("boruvka aux");
     let mut marked = std::collections::HashSet::new();
     for e in 0..nedges {
-        if m.read_word(marks.offset_words(e * 8)) != 0 {
+        if out.machine.read_word(marks.offset_words(e * 8)) != 0 {
             marked.insert(e as usize);
         }
     }
-    if check {
-        assert_eq!(got, oracle, "MST weight must match Kruskal");
-        assert_eq!(
-            marked.len() as u64,
-            nodes - 1,
-            "a connected graph's MST has n-1 edges"
-        );
-        m.check_invariants().expect("coherence invariants");
+    marked
+}
+
+/// The oracle: MST weight equals Kruskal's and the marked edges form a
+/// spanning tree (`nodes - 1` of them for a connected graph).
+///
+/// # Panics
+///
+/// Panics if the computed spanning tree differs from the oracle.
+pub fn check(_cfg: &Cfg, out: &mut RunOutcome) {
+    let &Aux {
+        weight,
+        nodes,
+        oracle_weight,
+        ..
+    } = out.aux.downcast_ref::<Aux>().expect("boruvka aux");
+    let got = out.machine.read_word(weight);
+    let marked = marked_edges(out);
+    assert_eq!(got, oracle_weight, "MST weight must match Kruskal");
+    assert_eq!(
+        marked.len() as u64,
+        nodes - 1,
+        "a connected graph's MST has n-1 edges"
+    );
+    out.machine
+        .check_invariants()
+        .expect("coherence invariants");
+}
+
+/// The registered boruvka application (Table II).
+pub struct Boruvka;
+
+impl Boruvka {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let mut cfg = Cfg::new(base);
+        cfg.side = p.u64("side") as usize;
+        cfg.diagonal_pct = p.u64("diagonal_pct");
+        cfg
     }
-    (report, marked)
+}
+
+impl Workload for Boruvka {
+    fn name(&self) -> &'static str {
+        "boruvka"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::App
+    }
+
+    fn summary(&self) -> &'static str {
+        "minimum spanning tree over a road-like graph"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_computed(
+                "side",
+                |scale, _| ParamValue::U64(10 + 2 * scale.min(20)),
+                "grid side (nodes = side², grows with scale up to 50)",
+            )
+            .u64(
+                "diagonal_pct",
+                30,
+                "percent chance of a diagonal shortcut per cell",
+            )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Configuration for genome (the paper runs -g4096 -s64 -n640000; scaled
 /// defaults keep the duplicate ratio).
@@ -60,6 +61,21 @@ const NODE_BYTES: u64 = 64; // key at +0, next at +8
 /// Panics if the set doesn't contain exactly the unique segments, or the
 /// remaining-space counter breaks conservation.
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    buckets: Addr,
+    remaining: Addr,
+    capacity: u64,
+    host_segments: Vec<u64>,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
@@ -166,8 +182,30 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux {
+            buckets,
+            remaining,
+            capacity,
+            host_segments,
+        }),
+    }
+}
 
-    // Oracle: the set contains exactly the unique segments, once each.
+/// The oracle: the set contains exactly the unique segments once each,
+/// and the remaining-space counter conserves capacity.
+///
+/// # Panics
+///
+/// Panics on lost/duplicated keys or a conservation violation.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let aux = out.aux.downcast_ref::<Aux>().expect("genome aux");
+    let (buckets, remaining, capacity) = (aux.buckets, aux.remaining, aux.capacity);
+    let host_segments = aux.host_segments.clone();
+    let m = &mut out.machine;
+    let threads = cfg.base.threads;
     let mut found = std::collections::HashSet::new();
     for h in 0..cfg.buckets {
         let mut node = m.read_word(buckets.offset_words(h));
@@ -207,7 +245,52 @@ pub fn run(cfg: &Cfg) -> RunReport {
         "remaining-space conservation"
     );
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered genome application (Table II).
+pub struct Genome;
+
+impl Genome {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let mut cfg = Cfg::new(base);
+        cfg.segments = p.u64("segments");
+        cfg.unique = p.u64("unique");
+        cfg.buckets = p.u64("buckets");
+        cfg
+    }
+}
+
+impl Workload for Genome {
+    fn name(&self) -> &'static str {
+        "genome"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::App
+    }
+
+    fn summary(&self) -> &'static str {
+        "sequence dedup over a hash set with gathers"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_per_scale(
+                "segments",
+                2_000,
+                "total segments processed (with duplicates)",
+            )
+            .u64_per_scale("unique", 200, "distinct segment values")
+            .u64_per_scale("buckets", 512, "hash-set buckets")
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

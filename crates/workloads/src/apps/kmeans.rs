@@ -13,7 +13,8 @@
 use commtm::prelude::*;
 
 use crate::ds::emit_barrier;
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Configuration for kmeans (the paper runs n16384-d24-c16 for up to 15
 /// iterations; defaults here are scaled for simulation time).
@@ -60,6 +61,20 @@ const R_ITER: usize = 4;
 /// floating-point reassociation tolerance, or if assignments don't sum to
 /// `n`.
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    assign: Addr,
+    centers: Addr,
+    host_points: Vec<f64>,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     assert!(cfg.k <= cfg.n, "need at least one point per cluster seed");
     assert!(cfg.d <= 16, "dimension cap for the assignment closure");
     let mut b = cfg.base.builder();
@@ -191,8 +206,29 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux {
+            assign,
+            centers,
+            host_points,
+        }),
+    }
+}
 
-    // Oracle: recompute the final centers from the recorded assignments.
+/// The oracle: recompute the final centers from the recorded assignments.
+///
+/// # Panics
+///
+/// Panics if any final centroid deviates beyond floating-point
+/// reassociation tolerance.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let (n, d, k) = (cfg.n, cfg.d, cfg.k);
+    let aux = out.aux.downcast_ref::<Aux>().expect("kmeans aux");
+    let (assign, centers) = (aux.assign, aux.centers);
+    let host_points = aux.host_points.clone();
+    let m = &mut out.machine;
     let mut sums_h = vec![0f64; k * d];
     let mut counts_h = vec![0u64; k];
     for pi in 0..n {
@@ -219,7 +255,50 @@ pub fn run(cfg: &Cfg) -> RunReport {
         }
     }
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered kmeans application (Table II).
+pub struct Kmeans;
+
+impl Kmeans {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let mut cfg = Cfg::new(base);
+        cfg.n = p.u64("n") as usize;
+        cfg.d = p.u64("d") as usize;
+        cfg.k = p.u64("k") as usize;
+        cfg.iters = p.u64("iters") as usize;
+        cfg
+    }
+}
+
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::App
+    }
+
+    fn summary(&self) -> &'static str {
+        "clustering with commutative centroid updates"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_per_scale("n", 192, "number of points")
+            .u64("d", 4, "dimensions per point (max 16)")
+            .u64("k", 8, "number of clusters")
+            .u64("iters", 2, "fixed iteration count (for determinism)")
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

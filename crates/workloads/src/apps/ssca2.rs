@@ -12,7 +12,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Configuration for ssca2 (the paper runs -s16, i.e. 2^16 nodes; scaled
 /// defaults).
@@ -53,6 +54,20 @@ const R_BATCH: usize = 1; // edges since last metadata update
 /// Panics if the per-node degrees don't sum to the edge count, or the
 /// global metadata counter disagrees.
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    deg: Addr,
+    total_edges: Addr,
+    host_deg: Vec<u64>,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
@@ -133,7 +148,29 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux {
+            deg,
+            total_edges,
+            host_deg,
+        }),
+    }
+}
 
+/// The oracle: per-node degrees match the host-side tally and sum to the
+/// edge count, which the global metadata counter must also equal.
+///
+/// # Panics
+///
+/// Panics on any mismatch.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let aux = out.aux.downcast_ref::<Aux>().expect("ssca2 aux");
+    let (deg, total_edges) = (aux.deg, aux.total_edges);
+    let host_deg = aux.host_deg.clone();
+    let m = &mut out.machine;
+    let edges = cfg.edges;
     let total = m.read_word(total_edges);
     assert_eq!(
         total, edges as u64,
@@ -147,7 +184,50 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
     assert_eq!(sum, edges as u64);
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered ssca2 application (Table II).
+pub struct Ssca2;
+
+impl Ssca2 {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let mut cfg = Cfg::new(base);
+        cfg.nodes = p.u64("nodes") as usize;
+        cfg.edges = p.u64("edges") as usize;
+        cfg.batch = p.u64("batch") as usize;
+        cfg.work_per_edge = p.u64("work_per_edge");
+        cfg
+    }
+}
+
+impl Workload for Ssca2 {
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::App
+    }
+
+    fn summary(&self) -> &'static str {
+        "graph kernel with rare global-metadata updates"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64("nodes", 1024, "number of nodes")
+            .u64_per_scale("edges", 2_048, "number of edges")
+            .u64("batch", 16, "edges per global-metadata batch update")
+            .u64("work_per_edge", 24, "non-memory work cycles per edge")
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Relations in the system.
 const RELATIONS: usize = 3; // cars, flights, rooms
@@ -69,6 +70,21 @@ const R_ITEM: usize = 3;
 /// Panics if any relation's free seats or remaining-slot counter disagree
 /// with the reservations actually held.
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    num_free: Vec<Addr>,
+    slots: Vec<Addr>,
+    seats_per_item: u64,
+    slot_capacity: u64,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
@@ -205,9 +221,31 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux {
+            num_free,
+            slots,
+            seats_per_item,
+            slot_capacity,
+        }),
+    }
+}
 
-    // Oracle: per relation, seats and slots must both account exactly for
-    // the reservations held across all threads.
+/// The conservation oracle: per relation, seats and slots must both
+/// account exactly for the reservations held across all threads.
+///
+/// # Panics
+///
+/// Panics on a conservation violation.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let aux = out.aux.downcast_ref::<Aux>().expect("vacation aux");
+    let (num_free, slots) = (aux.num_free.clone(), aux.slots.clone());
+    let (seats_per_item, slot_capacity) = (aux.seats_per_item, aux.slot_capacity);
+    let m = &mut out.machine;
+    let threads = cfg.base.threads;
+    let items = cfg.items;
     for r in 0..RELATIONS {
         let mut held_per_item = vec![0u64; items as usize];
         let mut held_total = 0u64;
@@ -233,7 +271,54 @@ pub fn run(cfg: &Cfg) -> RunReport {
         );
     }
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered vacation application (Table II).
+pub struct Vacation;
+
+impl Vacation {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let mut cfg = Cfg::new(base);
+        cfg.tasks = p.u64("tasks");
+        cfg.items = p.u64("items");
+        cfg.query_pct = p.u64("query_pct");
+        cfg.make_pct = p.u64("make_pct");
+        cfg
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> &'static str {
+        "vacation"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::App
+    }
+
+    fn summary(&self) -> &'static str {
+        "travel reservations with bounded remaining-space counters"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_per_scale("tasks", 600, "client transactions in total")
+            .u64("items", 64, "items per relation")
+            .u64("query_pct", 60, "percent of read-only query transactions")
+            .u64(
+                "make_pct",
+                90,
+                "percent of updates that make (vs cancel) reservations",
+            )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

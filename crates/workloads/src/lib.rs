@@ -21,13 +21,26 @@
 //!   remaining-space counters (uses gathers).
 //!
 //! Every workload runs on both [`commtm::Scheme`]s from the *same* program
-//! (labels demote under the baseline), asserts a sequential oracle on its
-//! results, and returns the [`commtm::RunReport`] the benchmark harness
-//! turns into the paper's figures.
+//! (labels demote under the baseline), exposes a sequential **oracle**
+//! over its results, and returns the [`commtm::RunReport`] the benchmark
+//! harness turns into the paper's figures.
+//!
+//! # The workload API
+//!
+//! Each module also ships a unit struct implementing the [`Workload`]
+//! trait — name, kind, summary, a typed declarative [`ParamSchema`], a
+//! `run` over [`BaseCfg`] + resolved [`Params`], and the explicit
+//! `oracle` hook. [`builtins`] enumerates them for registries; beyond the
+//! paper's ten, [`micro::bank`] demonstrates a string-valued `mix`
+//! parameter.
 
 pub mod apps;
 pub mod ds;
 pub mod micro;
+mod params;
 mod spec;
+mod workload;
 
+pub use params::{nearest, ParamDefault, ParamSchema, ParamSpec, ParamType, ParamValue, Params};
 pub use spec::BaseCfg;
+pub use workload::{builtins, RunOutcome, Workload, WorkloadKind};

@@ -5,7 +5,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Configuration for the counter microbenchmark.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +32,18 @@ impl Cfg {
 /// Panics if the final counter value differs from the number of committed
 /// increments (a lost or duplicated update).
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    counter: Addr,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let add = b.register_label(labels::add()).expect("label budget");
     let mut m = b.build();
@@ -59,14 +72,73 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
-    let v = m.read_word(counter);
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux { counter }),
+    }
+}
+
+/// The sequential oracle: the counter equals the number of increments and
+/// every increment committed exactly once.
+///
+/// # Panics
+///
+/// Panics on a lost or duplicated update.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let counter = out.aux.downcast_ref::<Aux>().expect("counter aux").counter;
+    let v = out.machine.read_word(counter);
     assert_eq!(
         v, cfg.total_incs,
         "counter must equal the number of increments"
     );
-    assert_eq!(report.commits(), cfg.total_incs, "one commit per increment");
-    m.check_invariants().expect("coherence invariants");
-    report
+    assert_eq!(
+        out.report.commits(),
+        cfg.total_incs,
+        "one commit per increment"
+    );
+    out.machine
+        .check_invariants()
+        .expect("coherence invariants");
+}
+
+/// The registered Fig. 9 counter workload.
+pub struct Counter;
+
+impl Counter {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        Cfg::new(base, p.u64("total_incs"))
+    }
+}
+
+impl Workload for Counter {
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Micro
+    }
+
+    fn summary(&self) -> &'static str {
+        "shared-counter increments (Fig. 9)"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new().u64_per_scale(
+            "total_incs",
+            20_000,
+            "total increments across all threads (the paper uses 10M)",
+        )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

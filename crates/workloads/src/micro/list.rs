@@ -11,7 +11,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Operation mix (the two Fig. 12 panels).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +77,19 @@ const NODE_BYTES: u64 = 64; // one line per node: next at +0, value at +8
 /// Panics if the surviving elements don't equal enqueues minus successful
 /// dequeues (in count and value sum).
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    head_addr: Addr,
+    warm_sum: u64,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let list = b.register_label(labels::list()).expect("label budget");
     let mut m = b.build();
@@ -193,6 +207,28 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux {
+            head_addr,
+            warm_sum,
+        }),
+    }
+}
+
+/// The conservation oracle: walking the merged list must account for
+/// every enqueue minus every successful dequeue, in count and value sum.
+///
+/// # Panics
+///
+/// Panics on lost or duplicated elements (or a cyclic list).
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let &Aux {
+        head_addr,
+        warm_sum,
+    } = out.aux.downcast_ref::<Aux>().expect("list aux");
+    let m = &mut out.machine;
 
     // Walk the merged list (the plain read of the head reduces all partial
     // lists first).
@@ -231,7 +267,57 @@ pub fn run(cfg: &Cfg) -> RunReport {
         "value conservation: every enqueued element is dequeued or present exactly once"
     );
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered Fig. 12 linked-list workload. `mixed` selects the
+/// 50/50 enqueue/dequeue mix vs. enqueue-only; `warm_start` only applies
+/// to the mixed variant (enqueue-only starts empty, as in the paper).
+pub struct List;
+
+impl List {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let mixed = p.flag("mixed");
+        let mix = if mixed { Mix::Mixed } else { Mix::EnqueueOnly };
+        let warm = if mixed { p.u64("warm_start") } else { 0 };
+        Cfg::new(base, p.u64("total_ops"), mix).with_warm_start(warm)
+    }
+}
+
+impl Workload for List {
+    fn name(&self) -> &'static str {
+        "list"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Micro
+    }
+
+    fn summary(&self) -> &'static str {
+        "linked-list enqueues/dequeues (Fig. 12)"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_per_scale("total_ops", 8_000, "total operations (the paper uses 10M)")
+            .flag(
+                "mixed",
+                true,
+                "50/50 enqueue/dequeue mix (false = enqueue-only)",
+            )
+            .u64_per_thread(
+                "warm_start",
+                48,
+                "elements pre-populated before the run (mixed variant only)",
+            )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
-//! The paper's microbenchmarks (Sec. VI).
+//! The paper's microbenchmarks (Sec. VI), plus the `bank`
+//! transfer/audit microbenchmark.
 
+pub mod bank;
 pub mod counter;
 pub mod list;
 pub mod oput;

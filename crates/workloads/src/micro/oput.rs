@@ -6,7 +6,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Configuration for the ordered-put microbenchmark.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +39,19 @@ struct Tally {
 /// Panics if the final pair is not the minimum-key pair over every
 /// committed put.
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    key_addr: Addr,
+    val_addr: Addr,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let oput = b.register_label(labels::oput()).expect("label budget");
     let mut m = b.build();
@@ -89,7 +103,22 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
-    // Oracle: the global minimum over every thread's committed draws.
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux { key_addr, val_addr }),
+    }
+}
+
+/// The oracle: the surviving pair is the global minimum over every
+/// thread's committed draws.
+///
+/// # Panics
+///
+/// Panics if a higher-key put survived.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let &Aux { key_addr, val_addr } = out.aux.downcast_ref::<Aux>().expect("oput aux");
+    let m = &mut out.machine;
     let mut best = (u64::MAX, 0u64);
     for t in 0..cfg.base.threads {
         let tally = m.env(t).user::<Tally>();
@@ -100,7 +129,45 @@ pub fn run(cfg: &Cfg) -> RunReport {
     let (k, v) = (m.read_word(key_addr), m.read_word(val_addr));
     assert_eq!((k, v), best, "surviving pair must be the global minimum");
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered Fig. 13 ordered-put workload.
+pub struct Oput;
+
+impl Oput {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        Cfg::new(base, p.u64("total_puts"))
+    }
+}
+
+impl Workload for Oput {
+    fn name(&self) -> &'static str {
+        "oput"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Micro
+    }
+
+    fn summary(&self) -> &'static str {
+        "ordered puts / priority updates (Fig. 13)"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new().u64_per_scale(
+            "total_puts",
+            20_000,
+            "total puts across all threads (the paper uses 10M)",
+        )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

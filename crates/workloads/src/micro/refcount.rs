@@ -7,7 +7,8 @@
 
 use commtm::prelude::*;
 
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Which system variant to run (the three Fig. 10 series).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +78,18 @@ struct Held {
 /// against it, or if a decrement ever observed a zero global count (which
 /// conservation makes impossible).
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    counters: Vec<Addr>,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let scheme = cfg.variant.scheme();
     let mut b = cfg.base.builder_for(scheme);
     let add = b.register_label(labels::add()).expect("label budget");
@@ -164,9 +177,27 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux { counters }),
+    }
+}
 
-    // Conservation oracle: each counter equals the sum of references held,
-    // and no decrement ever saw a zero global count.
+/// The conservation oracle: each counter equals the sum of references
+/// held, and no decrement ever saw a zero global count.
+///
+/// # Panics
+///
+/// Panics on a conservation violation.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let counters = out
+        .aux
+        .downcast_ref::<Aux>()
+        .expect("refcount aux")
+        .counters
+        .clone();
+    let m = &mut out.machine;
     for (o, &c) in counters.iter().enumerate() {
         let held: u64 = (0..cfg.base.threads)
             .map(|t| m.env(t).user::<Held>().refs[o])
@@ -182,7 +213,73 @@ pub fn run(cfg: &Cfg) -> RunReport {
         "conservation: a held reference implies a positive count"
     );
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered Fig. 10 reference-counting workload. The `gather`
+/// flag selects between the paper's full design and the no-gather
+/// variant; under the baseline scheme it is ignored.
+pub struct Refcount;
+
+impl Refcount {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        let variant = match base.scheme {
+            Scheme::Baseline => Variant::Baseline,
+            Scheme::CommTm if p.flag("gather") => Variant::Gather,
+            Scheme::CommTm => Variant::NoGather,
+        };
+        let mut cfg = Cfg::new(base, variant, p.u64("total_ops"));
+        cfg.objects = p.u64("objects") as usize;
+        cfg.initial_refs = p.u64("initial_refs");
+        cfg.max_refs = p.u64("max_refs");
+        cfg
+    }
+}
+
+impl Workload for Refcount {
+    fn name(&self) -> &'static str {
+        "refcount"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Micro
+    }
+
+    fn summary(&self) -> &'static str {
+        "bounded non-negative reference counters (Fig. 10)"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_per_scale(
+                "total_ops",
+                8_000,
+                "total acquire/release operations (the paper uses 1M)",
+            )
+            .flag(
+                "gather",
+                true,
+                "issue gather requests on empty local counters (CommTM only)",
+            )
+            .u64("objects", 16, "reference-counted objects")
+            .u64(
+                "initial_refs",
+                3,
+                "initial references held per thread per object",
+            )
+            .u64(
+                "max_refs",
+                10,
+                "maximum references a thread holds per object",
+            )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 #[cfg(test)]

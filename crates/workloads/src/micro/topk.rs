@@ -8,7 +8,8 @@
 use commtm::prelude::*;
 
 use crate::ds::{simheap, topk_label, TxWords, Words};
-use crate::BaseCfg;
+use crate::workload::{RunOutcome, Workload, WorkloadKind};
+use crate::{BaseCfg, ParamSchema, Params};
 
 /// Configuration for the top-K microbenchmark.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +40,18 @@ impl Cfg {
 ///
 /// Panics if the final heap differs from the sequential top-K oracle.
 pub fn run(cfg: &Cfg) -> RunReport {
+    let mut out = execute(cfg);
+    check(cfg, &mut out);
+    out.report
+}
+
+/// What the oracle needs from the simulation setup.
+struct Aux {
+    desc: Addr,
+}
+
+/// Runs the simulation without checking the oracle.
+pub fn execute(cfg: &Cfg) -> RunOutcome {
     let mut b = cfg.base.builder();
     let topk = b.register_label(topk_label()).expect("label budget");
     let mut m = b.build();
@@ -86,6 +99,22 @@ pub fn run(cfg: &Cfg) -> RunReport {
     }
 
     let report = m.run().expect("simulation");
+    RunOutcome {
+        machine: m,
+        report,
+        aux: Box::new(Aux { desc }),
+    }
+}
+
+/// The oracle: the retained set equals the K largest committed
+/// insertions. Drains the merged heap, so it can only run once.
+///
+/// # Panics
+///
+/// Panics if the final heap differs from the sequential top-K oracle.
+pub fn check(cfg: &Cfg, out: &mut RunOutcome) {
+    let desc = out.aux.downcast_ref::<Aux>().expect("topk aux").desc;
+    let m = &mut out.machine;
 
     // A plain read of the descriptor reduces all local heaps into one.
     let final_heap = Addr::new(m.read_word(desc));
@@ -93,7 +122,7 @@ pub fn run(cfg: &Cfg) -> RunReport {
         !final_heap.is_null(),
         "descriptor must point at the merged heap"
     );
-    let mut host = HostWords(&mut m);
+    let mut host = HostWords(&mut *m);
     let mut got = simheap::drain_values(&mut host, final_heap);
     got.sort_unstable();
 
@@ -113,7 +142,51 @@ pub fn run(cfg: &Cfg) -> RunReport {
         .collect();
     assert_eq!(got, want, "retained set must be the K largest insertions");
     m.check_invariants().expect("coherence invariants");
-    report
+}
+
+/// The registered Fig. 14 top-K workload.
+pub struct TopK;
+
+impl TopK {
+    fn cfg(&self, base: BaseCfg, p: &Params) -> Cfg {
+        Cfg::new(base, p.u64("total_inserts"), p.u64("k"))
+    }
+}
+
+impl Workload for TopK {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Micro
+    }
+
+    fn summary(&self) -> &'static str {
+        "top-K set insertions (Fig. 14)"
+    }
+
+    fn schema(&self) -> ParamSchema {
+        ParamSchema::new()
+            .u64_per_scale(
+                "total_inserts",
+                8_000,
+                "total insertions (the paper uses 10M)",
+            )
+            .u64(
+                "k",
+                100,
+                "retained-set size (the paper uses a top-1000 set)",
+            )
+    }
+
+    fn run(&self, base: BaseCfg, params: &Params) -> RunOutcome {
+        execute(&self.cfg(base, params))
+    }
+
+    fn oracle(&self, base: &BaseCfg, params: &Params, run: &mut RunOutcome) {
+        check(&self.cfg(*base, params), run);
+    }
 }
 
 /// Host-side `Words` over coherent machine reads (post-run verification).
