@@ -324,6 +324,48 @@ impl<M> CacheArray<M> {
         self.lookup(line).map(|s| self.way_of_slot(s))
     }
 
+    /// The set index a line maps to (geometry passthrough).
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        self.geom.set_of(line)
+    }
+
+    /// Replaces one whole set — entries, tags, and recency values — with
+    /// the corresponding set of `src`, which must have the same geometry.
+    ///
+    /// Engine support for the epoch-parallel scheduler's merge step: when a
+    /// speculative epoch proves conflict-free, every L3 set a worker
+    /// touched is implanted back into the shared array. The recency
+    /// counter is raised to `src`'s so future fills in *any* set still
+    /// receive ticks larger than every implanted value (victim selection
+    /// only compares recency within a set, so cross-set tick collisions
+    /// between workers are harmless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ or `set` is out of range.
+    pub fn copy_set_from(&mut self, src: &CacheArray<M>, set: usize)
+    where
+        M: Clone,
+    {
+        assert_eq!(
+            (self.geom.sets(), self.geom.ways()),
+            (src.geom.sets(), src.geom.ways()),
+            "copy_set_from across different geometries"
+        );
+        let ways = self.geom.ways();
+        let base = set * ways;
+        let old = self.sets[set]
+            .as_ref()
+            .map_or(0, |s| s.iter().flatten().count());
+        let new = src.sets[set]
+            .as_ref()
+            .map_or(0, |s| s.iter().flatten().count());
+        self.sets[set] = src.sets[set].clone();
+        self.tags[base..base + ways].copy_from_slice(&src.tags[base..base + ways]);
+        self.resident = self.resident - old + new;
+        self.tick = self.tick.max(src.tick);
+    }
+
     fn set_range(&self, line: LineAddr) -> (usize, usize) {
         let ways = self.geom.ways();
         (self.geom.set_of(line) * ways, ways)
@@ -405,6 +447,62 @@ mod tests {
         let a = LineAddr::new(0);
         c.fill(a, LineData::zeroed(), (), EvictionClass::Reducible);
         assert_eq!(c.way_of(a), Some(0));
+    }
+
+    #[test]
+    fn copy_set_from_implants_entries_tags_and_recency() {
+        let sets = 4usize;
+        let mut a: CacheArray<u32> = CacheArray::new(CacheGeometry::new(sets, 2));
+        let mut b: CacheArray<u32> = CacheArray::new(CacheGeometry::new(sets, 2));
+        // a: lines in sets 0 and 1; b: a different line in set 1, plus
+        // extra ticks so its recency counter runs ahead.
+        a.fill(
+            LineAddr::new(0),
+            LineData::splat(1),
+            10,
+            EvictionClass::NonReducible,
+        );
+        a.fill(
+            LineAddr::new(1),
+            LineData::splat(2),
+            11,
+            EvictionClass::NonReducible,
+        );
+        b.fill(
+            LineAddr::new(5),
+            LineData::splat(9),
+            99,
+            EvictionClass::NonReducible,
+        );
+        b.get(LineAddr::new(5));
+        b.get(LineAddr::new(5));
+
+        a.copy_set_from(&b, 1);
+        // Set 1 now mirrors b: line 1 gone, line 5 present.
+        assert!(!a.contains(LineAddr::new(1)));
+        assert_eq!(a.peek(LineAddr::new(5)).unwrap().meta, 99);
+        // Set 0 untouched; resident count adjusted.
+        assert_eq!(a.peek(LineAddr::new(0)).unwrap().meta, 10);
+        assert_eq!(a.len(), 2);
+        // Recency ran forward: the next fill outranks every implanted tick.
+        let out = a.fill(
+            LineAddr::new(9),
+            LineData::zeroed(),
+            7,
+            EvictionClass::NonReducible,
+        );
+        assert!(out.victim.is_none());
+        let out = a.fill(
+            LineAddr::new(13),
+            LineData::zeroed(),
+            8,
+            EvictionClass::NonReducible,
+        );
+        assert_eq!(
+            out.victim.unwrap().tag,
+            LineAddr::new(5),
+            "implanted line is older"
+        );
     }
 
     #[test]

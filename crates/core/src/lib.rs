@@ -66,7 +66,10 @@ pub use commtm_htm::{CoreStats, HtmConfig, Scheme};
 pub use commtm_mem::{Addr, CoreId, Heap, LabelId, LineAddr, LineData, WORDS_PER_LINE};
 pub use commtm_noc::Mesh;
 pub use commtm_protocol::{AbortKind, LabelDef, LabelTable, ProtoConfig, ReduceOps, WasteBucket};
-pub use commtm_sim::{CycleBreakdown, Machine, MachineConfig, RunReport, SimError, Tuning};
+pub use commtm_sim::{
+    CycleBreakdown, Engine, EpochEngine, Machine, MachineConfig, RunReport, SerialEngine, SimError,
+    Tuning,
+};
 pub use commtm_tx::{Ctl, CtlCtx, Program, ProgramBuilder, TxCtx};
 
 /// The common imports for writing CommTM workloads.

@@ -32,11 +32,40 @@ pub struct BenchGrid {
 /// The pinned grids. `quick` = the CI perf-smoke subset; full adds the
 /// heavier sweep used for cross-commit speedup comparisons.
 ///
+/// Every serial grid is paired with an `-epoch` twin that runs the same
+/// pinned scenario under the epoch-parallel machine engine
+/// (`machine_threads = 4`). The twins exist for two reasons: their wall
+/// times show what within-machine parallelism buys on the current host,
+/// and their fingerprints **must equal** the serial grid's — the engines
+/// are byte-identical by construction, and the bench gate enforces it on
+/// every CI run (see [`BenchReport::engine_twin_mismatches`]).
+///
 /// # Panics
 ///
 /// Panics if a built-in scenario referenced here disappears (a programming
 /// error caught by the test suite).
 pub fn grids(quick: bool) -> Vec<BenchGrid> {
+    fn push_with_twin(
+        out: &mut Vec<BenchGrid>,
+        name: &'static str,
+        twin: &'static str,
+        what: &'static str,
+        scenario: Scenario,
+    ) {
+        let mut epoch = scenario.clone();
+        epoch.tuning.machine_threads = Some(4);
+        out.push(BenchGrid {
+            name,
+            what,
+            scenario,
+        });
+        out.push(BenchGrid {
+            name: twin,
+            what,
+            scenario: epoch,
+        });
+    }
+
     let mut out = Vec::new();
 
     // Counter microbenchmark, small grid: protocol fast path + reductions
@@ -45,11 +74,13 @@ pub fn grids(quick: bool) -> Vec<BenchGrid> {
     g.threads = vec![1, 8, 32];
     g.seeds = vec![0xC0FFEE];
     g.scale = 1;
-    out.push(BenchGrid {
-        name: "counter-quick",
-        what: "counter micro, threads 1/8/32, scale 1",
-        scenario: g,
-    });
+    push_with_twin(
+        &mut out,
+        "counter-quick",
+        "counter-quick-epoch",
+        "counter micro, threads 1/8/32, scale 1",
+        g,
+    );
 
     if !quick {
         // The PR acceptance smoke: the full fig09 grid at scale 4.
@@ -58,11 +89,13 @@ pub fn grids(quick: bool) -> Vec<BenchGrid> {
             g.scale = 4;
             g
         };
-        out.push(BenchGrid {
-            name: "counter-scale4",
-            what: "counter micro, full thread grid, scale 4",
-            scenario: g,
-        });
+        push_with_twin(
+            &mut out,
+            "counter-scale4",
+            "counter-scale4-epoch",
+            "counter micro, full thread grid, scale 4",
+            g,
+        );
 
         // A pointer-chasing workload: long transactions, more L1/L2
         // traffic per op, exercises footprint tracking and evictions.
@@ -73,11 +106,13 @@ pub fn grids(quick: bool) -> Vec<BenchGrid> {
             g.scale = 2;
             g
         };
-        out.push(BenchGrid {
-            name: "list-quick",
-            what: "list micro, threads 1/8/32, scale 2",
-            scenario: g,
-        });
+        push_with_twin(
+            &mut out,
+            "list-quick",
+            "list-quick-epoch",
+            "list micro, threads 1/8/32, scale 2",
+            g,
+        );
     }
     out
 }
@@ -255,6 +290,24 @@ impl BenchReport {
         s
     }
 
+    /// Serial/epoch engine twins (`<grid>` vs `<grid>-epoch`) must carry
+    /// identical fingerprints — the epoch-parallel engine is byte-identical
+    /// to the serial one by construction, and this is the bench-level
+    /// enforcement of that claim. Returns the twin names that diverged.
+    pub fn engine_twin_mismatches(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for g in &self.grids {
+            if let Some(base) = g.name.strip_suffix("-epoch") {
+                if let Some(b) = self.grids.iter().find(|b| b.name == base) {
+                    if b.fingerprint != g.fingerprint {
+                        bad.push(g.name.clone());
+                    }
+                }
+            }
+        }
+        bad
+    }
+
     /// Compares determinism fingerprints against a baseline report.
     /// Timing is deliberately ignored: only behavior gates. Grids present
     /// in one report but not the other are skipped (quick vs full).
@@ -280,15 +333,42 @@ mod tests {
     #[test]
     fn quick_grids_are_pinned() {
         let g = grids(true);
-        assert_eq!(g.len(), 1);
+        assert_eq!(g.len(), 2);
         assert_eq!(g[0].name, "counter-quick");
         assert_eq!(g[0].scenario.threads, vec![1, 8, 32]);
         assert_eq!(g[0].scenario.scale, 1);
+        // Every serial grid has an epoch twin: same pinned scenario, run
+        // under the epoch-parallel engine.
+        assert_eq!(g[1].name, "counter-quick-epoch");
+        assert_eq!(g[1].scenario.tuning.machine_threads, Some(4));
+        assert_eq!(g[1].scenario.threads, g[0].scenario.threads);
+        assert_eq!(g[0].scenario.tuning.machine_threads, None);
         // Full mode strictly extends quick mode, so fingerprints of shared
         // grids stay comparable across the two.
         let full = grids(false);
         assert_eq!(full[0].name, "counter-quick");
-        assert!(full.len() > 1);
+        assert!(full.len() > 2);
+        assert!(full.iter().any(|g| g.name == "counter-scale4-epoch"));
+    }
+
+    #[test]
+    fn engine_twins_fingerprint_identically() {
+        let opts = ExecOptions {
+            jobs: 1,
+            quiet: true,
+        };
+        let report = run(true, &opts).expect("bench runs");
+        let serial = report.grids.iter().find(|g| g.name == "counter-quick");
+        let epoch = report
+            .grids
+            .iter()
+            .find(|g| g.name == "counter-quick-epoch");
+        let (serial, epoch) = (serial.expect("serial grid"), epoch.expect("epoch twin"));
+        assert_eq!(
+            serial.fingerprint, epoch.fingerprint,
+            "the epoch-parallel engine changed simulated behavior"
+        );
+        assert!(report.engine_twin_mismatches().is_empty());
     }
 
     #[test]
@@ -331,7 +411,7 @@ mod tests {
         };
         let a = run(true, &opts).expect("bench runs");
         let b = run(true, &opts).expect("bench runs");
-        assert_eq!(a.grids.len(), 1);
+        assert_eq!(a.grids.len(), 2, "serial grid plus its engine twin");
         assert!(a.grids[0].ops > 0, "ops counted");
         assert_eq!(
             a.grids[0].fingerprint, b.grids[0].fingerprint,

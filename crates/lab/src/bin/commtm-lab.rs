@@ -46,9 +46,14 @@ RUN OPTIONS:
     --scale N           workload scale factor (paper scale ~ 500)
     --jobs N            worker threads (default: one per core)
     --serial            run cells serially (same numbers, one core)
+    --machine-threads N host threads stepping each simulated machine
+                        (selects the epoch-parallel engine for N > 1;
+                        results are byte-identical, only wall time moves;
+                        the cell-job budget is divided by N)
     --out FILE.json     write full results as JSON
     --csv FILE.csv      write per-cell rows as CSV
     --svg FILE.svg      render the scenario's figure (SVG/HTML) to a file
+    --theme NAME        figure color theme: light (default) or dark
     --baseline F.json   diff against a previous JSON (exit 1 on change)
     --tol FRAC          relative tolerance for --baseline/diff (default 0)
     --progress          print per-cell progress to stderr
@@ -165,10 +170,14 @@ struct Overrides {
     schemes: Option<Vec<commtm::Scheme>>,
     seeds: Option<usize>,
     scale: Option<u64>,
+    machine_threads: Option<usize>,
 }
 
 impl Overrides {
     fn apply(&self, scenario: &mut Scenario) {
+        if let Some(mt) = self.machine_threads {
+            scenario.tuning.machine_threads = Some(mt.max(1));
+        }
         if let Some(t) = &self.threads {
             scenario.threads = t.clone();
         }
@@ -204,6 +213,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut baseline: Option<String> = None;
     let mut tol = 0.0f64;
     let mut quiet_report = false;
+    let mut theme = commtm_lab::figures::theme_by_name("light").expect("light theme exists");
 
     let mut params: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -239,6 +249,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--scale" => {
                 ov.scale = Some(value("--scale")?.parse().map_err(|_| "bad --scale")?);
             }
+            "--machine-threads" => {
+                ov.machine_threads = Some(
+                    value("--machine-threads")?
+                        .parse()
+                        .map_err(|_| "bad --machine-threads")?,
+                );
+            }
             "--jobs" => {
                 opts.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
             }
@@ -247,6 +264,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--csv" => out_csv = Some(value("--csv")?.clone()),
             "--svg" => out_svg = Some(value("--svg")?.clone()),
             "--baseline" => baseline = Some(value("--baseline")?.clone()),
+            "--theme" => {
+                let name = value("--theme")?;
+                theme = commtm_lab::figures::theme_by_name(name)
+                    .ok_or_else(|| format!("unknown theme {name:?} (light or dark)"))?;
+            }
             "--tol" => tol = value("--tol")?.parse().map_err(|_| "bad --tol")?,
             "--progress" => opts.quiet = false,
             "--quiet" => quiet_report = true,
@@ -285,6 +307,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             &ov,
             &opts,
             quiet_report,
+            theme,
         );
     }
 
@@ -321,7 +344,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 scenario.name
             );
         }
-        std::fs::write(&path, figures::render_figure(&scenario, &set))
+        std::fs::write(&path, figures::render_figure_themed(&scenario, &set, theme))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
@@ -352,6 +375,7 @@ fn cmd_run_all(
     ov: &Overrides,
     opts: &ExecOptions,
     quiet_report: bool,
+    theme: commtm_plot::palette::Theme,
 ) -> Result<ExitCode, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
     let mut entries: Vec<Json> = Vec::new();
@@ -368,7 +392,7 @@ fn cmd_run_all(
         }
         let figure = figures::figure_file_name(&scenario);
         let results = format!("{name}.json");
-        let rendered = figures::render_figure(&scenario, &set);
+        let rendered = figures::render_figure_themed(&scenario, &set, theme);
         // Report what the figure actually shows, not what the grid asked
         // for: identical seed replicas have zero spread and no bars.
         let error_bars = rendered.contains("class=\"errbar\"");
@@ -394,6 +418,11 @@ fn cmd_run_all(
             ("seeds", Json::U64(scenario.seeds.len() as u64)),
             ("error_bars", Json::Bool(error_bars)),
             ("ok", Json::Bool(ok)),
+            // Host-side visibility: which engine ran the machines and how
+            // long the sweep took, so `run --all` output makes perf
+            // regressions visible without affecting deterministic results.
+            ("engine", Json::Str(set.engine.clone())),
+            ("wall_ms", Json::U64(set.wall_ms)),
         ]));
     }
     // Scale and seeds are per-figure fields: built-ins may declare their
@@ -450,10 +479,23 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
 
     let report = bench::run(quick, &opts)?;
     print!("{}", report.render());
-    if let Some(path) = out {
-        std::fs::write(&path, report.to_json().pretty())
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json().pretty())
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    // Engine twins (`<grid>` vs `<grid>-epoch`) must agree exactly on
+    // every run — no baseline needed; the two engines are byte-identical
+    // by construction. Gated *after* --out so the report holding the
+    // diverging fingerprints always exists for diagnosis.
+    let twins = report.engine_twin_mismatches();
+    if !twins.is_empty() {
+        eprintln!(
+            "engine fingerprint mismatch: {} — the epoch-parallel engine \
+             changed simulated behavior vs the serial engine",
+            twins.join(", ")
+        );
+        return Ok(ExitCode::FAILURE);
     }
     if let Some(path) = check {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;

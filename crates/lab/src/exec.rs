@@ -49,10 +49,20 @@ impl Default for ExecOptions {
 impl ExecOptions {
     /// The effective worker count for `cells` cells.
     pub fn effective_jobs(&self, cells: usize) -> usize {
+        self.effective_jobs_budgeted(cells, 1)
+    }
+
+    /// The effective worker count when every cell's machine itself runs on
+    /// `machine_threads` host threads: the host-thread budget (`jobs`, or
+    /// one per core) is split between grid-cell parallelism and
+    /// within-machine parallelism, so a sweep never oversubscribes the
+    /// host by `cells × machine_threads`.
+    pub fn effective_jobs_budgeted(&self, cells: usize, machine_threads: usize) -> usize {
         let auto = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let jobs = if self.jobs == 0 { auto } else { self.jobs };
+        let budget = if self.jobs == 0 { auto } else { self.jobs };
+        let jobs = budget / machine_threads.max(1);
         jobs.clamp(1, cells.max(1))
     }
 }
@@ -132,7 +142,8 @@ pub fn run_scenario_in(
     scenario.validate_in(reg)?;
     install_quiet_cell_hook();
     let cells = scenario.cells();
-    let jobs = opts.effective_jobs(cells.len());
+    let machine_threads = scenario.tuning.machine_threads.unwrap_or(1).max(1);
+    let jobs = opts.effective_jobs_budgeted(cells.len(), machine_threads);
     let started = Instant::now();
 
     let slots: Vec<Mutex<Option<CellResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
@@ -175,7 +186,19 @@ pub fn run_scenario_in(
         cells: results,
         wall_ms: started.elapsed().as_millis() as u64,
         jobs,
+        engine: engine_name(machine_threads),
     })
+}
+
+/// The engine label recorded in result files and the `run --all`
+/// manifest: `"serial"`, or `"epoch@N"` for the epoch-parallel engine on
+/// `N` host threads. Metadata only — results are engine-independent.
+pub fn engine_name(machine_threads: usize) -> String {
+    if machine_threads > 1 {
+        format!("epoch@{machine_threads}")
+    } else {
+        "serial".to_string()
+    }
 }
 
 /// Runs every cell serially on the calling thread (reference mode for

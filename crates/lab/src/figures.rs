@@ -26,6 +26,11 @@ use crate::report::{norm_scheme, serial_reference};
 use crate::results::{summarize, waste_bucket_name, CellStats, ResultSet, Summary};
 use crate::spec::{scheme_name, ReportKind, Scenario};
 
+/// Looks a figure color theme up by CLI name (`"light"` / `"dark"`).
+pub fn theme_by_name(name: &str) -> Option<palette::Theme> {
+    palette::Theme::by_name(name)
+}
+
 /// The artifact file name for a scenario's figure (`<name>.svg`, or
 /// `<name>.html` for the Table II style).
 pub fn figure_file_name(scenario: &Scenario) -> String {
@@ -35,15 +40,22 @@ pub fn figure_file_name(scenario: &Scenario) -> String {
     }
 }
 
-/// Renders the scenario's figure from its results. The text is SVG for
-/// every chart kind and a standalone HTML document for
-/// [`ReportKind::Table2`] (see [`figure_file_name`]).
+/// Renders the scenario's figure from its results under the default
+/// light theme. The text is SVG for every chart kind and a standalone
+/// HTML document for [`ReportKind::Table2`] (see [`figure_file_name`]).
 pub fn render_figure(scenario: &Scenario, set: &ResultSet) -> String {
+    render_figure_themed(scenario, set, palette::Theme::light())
+}
+
+/// [`render_figure`] under an explicit color [`palette::Theme`] (the
+/// `commtm-lab run --theme dark` path).
+pub fn render_figure_themed(scenario: &Scenario, set: &ResultSet, theme: palette::Theme) -> String {
     match scenario.report {
-        ReportKind::Speedup => speedup_chart(scenario, set),
+        ReportKind::Speedup => speedup_chart(scenario, set, theme),
         ReportKind::CycleBreakdown => breakdown_chart(
             scenario,
             set,
+            theme,
             &["non-tx", "committed", "aborted"],
             "cycles",
             |s, i| [s.nontx_cycles, s.committed_cycles, s.aborted_cycles][i] as f64,
@@ -51,6 +63,7 @@ pub fn render_figure(scenario: &Scenario, set: &ResultSet) -> String {
         ReportKind::WastedBreakdown => breakdown_chart(
             scenario,
             set,
+            theme,
             &[
                 waste_bucket_name(0),
                 waste_bucket_name(1),
@@ -60,8 +73,8 @@ pub fn render_figure(scenario: &Scenario, set: &ResultSet) -> String {
             "wasted cycles",
             |s, i| s.wasted[i] as f64,
         ),
-        ReportKind::GetsBreakdown => gets_chart(scenario, set),
-        ReportKind::Table2 => table2_html(scenario, set),
+        ReportKind::GetsBreakdown => gets_chart(scenario, set, theme),
+        ReportKind::Table2 => table2_html(scenario, set, theme),
     }
 }
 
@@ -79,8 +92,9 @@ fn subtitle(scenario: &Scenario, set: &ResultSet) -> String {
 /// Speedup vs threads (Figs. 9–16): per-seed speedups are each seed's
 /// cycles against the label's (mean) serial reference, so the error bar
 /// reflects the spread of the measured runs themselves.
-fn speedup_chart(scenario: &Scenario, set: &ResultSet) -> String {
+fn speedup_chart(scenario: &Scenario, set: &ResultSet, theme: palette::Theme) -> String {
     let mut chart = LineChart::new(&format!("{}: {}", set.scenario, set.title))
+        .theme(theme)
         .subtitle(&subtitle(scenario, set))
         .x_label("threads")
         .y_label("speedup over serial")
@@ -137,6 +151,7 @@ fn series_name(label: &str, scheme: Scheme, schemes: &[Scheme]) -> String {
 fn breakdown_chart(
     scenario: &Scenario,
     set: &ResultSet,
+    theme: palette::Theme,
     segments: &[&str],
     what: &str,
     component: impl Fn(&CellStats, usize) -> f64,
@@ -147,6 +162,7 @@ fn breakdown_chart(
     let norm = norm_scheme(&schemes);
     let total = |s: &CellStats| (0..segments.len()).map(|i| component(s, i)).sum::<f64>();
     let mut chart = BarChart::new(&format!("{}: {}", set.scenario, set.title), segments)
+        .theme(theme)
         .subtitle(&subtitle(scenario, set))
         .y_label(&format!(
             "{what} (normalized to {}@{})",
@@ -187,7 +203,7 @@ fn breakdown_chart(
 
 /// Fig. 19 style: GETS/GETX/GETU stacks normalized per thread point (the
 /// paper compares schemes at equal thread counts).
-fn gets_chart(scenario: &Scenario, set: &ResultSet) -> String {
+fn gets_chart(scenario: &Scenario, set: &ResultSet, theme: palette::Theme) -> String {
     let threads = set.thread_counts();
     let schemes = set.schemes();
     let norm = norm_scheme(&schemes);
@@ -195,6 +211,7 @@ fn gets_chart(scenario: &Scenario, set: &ResultSet) -> String {
         &format!("{}: {}", set.scenario, set.title),
         &["GETS", "GETX", "GETU"],
     )
+    .theme(theme)
     .subtitle(&subtitle(scenario, set))
     .y_label(&format!(
         "directory GETs (normalized to {} per point)",
@@ -237,7 +254,7 @@ fn gets_chart(scenario: &Scenario, set: &ResultSet) -> String {
 
 /// Table II as a standalone HTML document: per-workload characteristics,
 /// with a ± column whenever more than one seed was swept.
-fn table2_html(scenario: &Scenario, set: &ResultSet) -> String {
+fn table2_html(scenario: &Scenario, set: &ResultSet, theme: palette::Theme) -> String {
     let multi_seed = scenario.seeds.len() >= 2;
     let threads = set.thread_counts();
     let schemes = set.schemes();
@@ -294,10 +311,10 @@ fn table2_html(scenario: &Scenario, set: &ResultSet) -> String {
         title = commtm_plot::svg::esc(&format!("{}: {}", set.scenario, set.title)),
         sub_line = commtm_plot::svg::esc(&subtitle(scenario, set)),
         font = palette::FONT,
-        surface = palette::SURFACE,
-        ink = palette::INK,
-        sub = palette::INK_SECONDARY,
-        grid = palette::GRID,
+        surface = theme.surface,
+        ink = theme.ink,
+        sub = theme.ink_secondary,
+        grid = theme.grid,
         rows = rows,
     )
 }

@@ -253,6 +253,10 @@ pub struct ResultSet {
     pub wall_ms: u64,
     /// Worker threads used.
     pub jobs: usize,
+    /// Machine engine label (`"serial"` or `"epoch@N"`). Results are
+    /// engine-independent, so this lives with the timing metadata and is
+    /// excluded from [`ResultSet::canonical_json`].
+    pub engine: String,
 }
 
 impl ResultSet {
@@ -429,6 +433,9 @@ impl ResultSet {
         if timing {
             pairs.push(("wall_ms".to_string(), Json::U64(self.wall_ms)));
             pairs.push(("jobs".to_string(), Json::U64(self.jobs as u64)));
+            if !self.engine.is_empty() {
+                pairs.push(("engine".to_string(), Json::Str(self.engine.clone())));
+            }
         }
         pairs.push(("cells".to_string(), Json::Arr(cells)));
         Json::Obj(pairs)
@@ -454,6 +461,11 @@ impl ResultSet {
         let scale = v.get("scale").and_then(Json::as_u64).unwrap_or(1);
         let wall_ms = v.get("wall_ms").and_then(Json::as_u64).unwrap_or(0);
         let jobs = v.get("jobs").and_then(Json::as_u64).unwrap_or(0) as usize;
+        let engine = v
+            .get("engine")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
         let mut cells = Vec::new();
         for (index, c) in v
             .get("cells")
@@ -516,6 +528,7 @@ impl ResultSet {
             cells,
             wall_ms,
             jobs,
+            engine,
         })
     }
 
@@ -758,6 +771,7 @@ mod tests {
             }],
             wall_ms: 100,
             jobs: 4,
+            engine: "serial".into(),
         }
     }
 

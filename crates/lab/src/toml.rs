@@ -331,6 +331,7 @@ fn tuning_from_json(v: &Json) -> Result<Tuning, String> {
             "reduce_cycles" => t.reduce_cycles = Some(int),
             "split_cycles" => t.split_cycles = Some(int),
             "max_cycles" => t.max_cycles = Some(int),
+            "machine_threads" => t.machine_threads = Some(int as usize),
             other => return Err(format!("unknown tuning field {other:?}")),
         }
     }

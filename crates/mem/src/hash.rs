@@ -86,6 +86,10 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// tables whose keys are trusted (addresses, ids).
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
+/// A `HashSet` keyed with [`FxHasher`] (same determinism rationale as
+/// [`FxHashMap`]).
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,7 +31,7 @@ mod memory;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use alloc::Heap;
-pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoreId, LabelId, SharerSet, MAX_CORES, MAX_LABELS};
 pub use line::LineData;
 pub use memory::MainMemory;

@@ -1,0 +1,210 @@
+//! Access-footprint capture for the epoch-parallel simulation engine.
+//!
+//! A [`Footprint`] records which shared structures a stretch of simulated
+//! execution touched: the cores whose private caches (or transaction
+//! entries) were read or written, the L3 `(bank, set)` pairs probed or
+//! restructured, the main-memory lines fetched or written back, and
+//! whether the protocol's internal RNG was consumed.
+//!
+//! The epoch-parallel scheduler steps disjoint groups of cores against
+//! *clones* of the [`crate::MemSystem`], each with capture enabled. After
+//! an epoch it checks that every worker stayed inside its own core group
+//! and that the workers' L3-set and memory-line footprints are pairwise
+//! disjoint. Only then are the clones' effects absorbed back — any overlap
+//! means the concurrent interleaving could differ from the serial one, and
+//! the epoch is replayed serially instead. Capture therefore has to be
+//! *complete*: every protocol path that can touch another core's state or
+//! a shared structure calls into this module (the choke points are the
+//! `cap_*` hooks in the `system` module).
+//!
+//! Granularity notes: the L3 is tracked per *set*, not per line, because
+//! two different lines in one set contend for ways and recency order; main
+//! memory is tracked per line; private caches are tracked per core (they
+//! are exclusively owned, so any cross-worker touch is a conflict no
+//! matter which line).
+
+use commtm_mem::{CoreId, FxHashSet};
+
+/// A recorded set of shared-structure touches (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct Footprint {
+    enabled: bool,
+    /// Bitmask of touched cores (the architecture caps at 128 cores).
+    cores: u128,
+    /// Cores this capture is allowed to touch; a touch outside the mask
+    /// sets [`Footprint::foreign`] for cheap mid-epoch bail-out.
+    owned: u128,
+    foreign: bool,
+    /// Touched L3 sets, packed as `bank << 32 | set`.
+    l3_sets: FxHashSet<u64>,
+    /// Touched main-memory lines (raw line indices).
+    mem_lines: FxHashSet<u64>,
+    /// Draws from the protocol's internal RNG.
+    rng_draws: u64,
+}
+
+impl Footprint {
+    /// Clears and enables capture, declaring the cores this stretch of
+    /// execution owns (`owned` bit per core index).
+    pub fn reset(&mut self, owned: u128) {
+        self.enabled = true;
+        self.cores = 0;
+        self.owned = owned;
+        self.foreign = false;
+        self.l3_sets.clear();
+        self.mem_lines.clear();
+        self.rng_draws = 0;
+    }
+
+    /// Disables capture, leaving the recorded contents readable.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether capture is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    pub(crate) fn core(&mut self, core: CoreId) {
+        if !self.enabled {
+            return;
+        }
+        let bit = 1u128 << core.index();
+        self.cores |= bit;
+        if self.owned & bit == 0 {
+            self.foreign = true;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn l3(&mut self, bank: usize, set: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.l3_sets.insert(((bank as u64) << 32) | set as u64);
+    }
+
+    #[inline]
+    pub(crate) fn mem(&mut self, line: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.mem_lines.insert(line);
+    }
+
+    #[inline]
+    pub(crate) fn rng(&mut self) {
+        if self.enabled {
+            self.rng_draws += 1;
+        }
+    }
+
+    /// Whether any touch landed on a core outside the declared owned set.
+    /// Workers poll this after every step to bail out of a doomed epoch
+    /// early.
+    pub fn touched_foreign(&self) -> bool {
+        self.foreign
+    }
+
+    /// Touched-core bitmask.
+    pub fn cores(&self) -> u128 {
+        self.cores
+    }
+
+    /// Number of RNG draws recorded.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng_draws
+    }
+
+    /// Touched L3 sets as packed `bank << 32 | set` keys.
+    pub fn l3_sets(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.l3_sets
+            .iter()
+            .map(|&k| ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize))
+    }
+
+    /// Touched main-memory lines (raw line indices).
+    pub fn mem_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.mem_lines.iter().copied()
+    }
+
+    /// Accumulates `other`'s touches into this footprint (used by the
+    /// epoch-parallel engine to track everything its worker clones have
+    /// drifted from since their last sync with the base system).
+    pub fn merge(&mut self, other: &Footprint) {
+        self.cores |= other.cores;
+        self.l3_sets.extend(other.l3_sets.iter().copied());
+        self.mem_lines.extend(other.mem_lines.iter().copied());
+        self.rng_draws += other.rng_draws;
+    }
+
+    /// Whether the shared-structure parts (L3 sets, memory lines) of two
+    /// footprints are disjoint. Core sets are checked separately via
+    /// [`Footprint::touched_foreign`] / [`Footprint::cores`].
+    pub fn disjoint_shared(&self, other: &Footprint) -> bool {
+        let (small, large) = if self.l3_sets.len() <= other.l3_sets.len() {
+            (&self.l3_sets, &other.l3_sets)
+        } else {
+            (&other.l3_sets, &self.l3_sets)
+        };
+        if small.iter().any(|k| large.contains(k)) {
+            return false;
+        }
+        let (small, large) = if self.mem_lines.len() <= other.mem_lines.len() {
+            (&self.mem_lines, &other.mem_lines)
+        } else {
+            (&other.mem_lines, &self.mem_lines)
+        };
+        !small.iter().any(|k| large.contains(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_records_and_detects_foreign() {
+        let mut f = Footprint::default();
+        // Disabled: everything is a no-op.
+        f.core(CoreId::new(5));
+        f.l3(1, 2);
+        f.rng();
+        assert_eq!(f.cores(), 0);
+        assert_eq!(f.rng_draws(), 0);
+
+        f.reset(0b0011); // owns cores 0 and 1
+        f.core(CoreId::new(1));
+        assert!(!f.touched_foreign());
+        f.core(CoreId::new(2));
+        assert!(f.touched_foreign());
+        assert_eq!(f.cores(), 0b0110);
+        f.l3(1, 2);
+        f.mem(77);
+        f.rng();
+        assert_eq!(f.l3_sets().collect::<Vec<_>>(), vec![(1, 2)]);
+        assert_eq!(f.mem_lines().collect::<Vec<_>>(), vec![77]);
+        assert_eq!(f.rng_draws(), 1);
+    }
+
+    #[test]
+    fn shared_disjointness() {
+        let mut a = Footprint::default();
+        let mut b = Footprint::default();
+        a.reset(1);
+        b.reset(2);
+        a.l3(0, 1);
+        a.mem(10);
+        b.l3(0, 2);
+        b.mem(11);
+        assert!(a.disjoint_shared(&b));
+        b.l3(0, 1);
+        assert!(!a.disjoint_shared(&b));
+        let mut c = Footprint::default();
+        c.reset(4);
+        c.mem(10);
+        assert!(!a.disjoint_shared(&c));
+    }
+}

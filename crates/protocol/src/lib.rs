@@ -28,6 +28,7 @@
 
 mod config;
 mod dir;
+pub mod footprint;
 mod label;
 mod stats;
 mod system;
@@ -35,6 +36,7 @@ mod types;
 
 pub use config::ProtoConfig;
 pub use dir::{DirState, L3Meta};
+pub use footprint::Footprint;
 pub use label::{LabelDef, LabelTable, ReduceFn, ReduceOps, SplitFn};
 pub use stats::{CoreProtoStats, ProtoStats};
 pub use system::MemSystem;

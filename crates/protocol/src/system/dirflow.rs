@@ -22,6 +22,7 @@ impl MemSystem {
         txs: &mut TxTable,
         acc: &mut Acc,
     ) {
+        self.cap.core(victim);
         if txs.entry(victim).active {
             self.rollback_core(victim);
             txs.end(victim);
@@ -50,6 +51,11 @@ impl MemSystem {
         txs: &mut TxTable,
         acc: &mut Acc,
     ) -> Result<(), AbortKind> {
+        // Captured before the early returns: even a no-conflict probe reads
+        // the victim's transaction state and speculative bits, which is
+        // enough to make a concurrent interleaving diverge from the serial
+        // one.
+        self.cap.core(victim);
         let Some(vts) = txs.active_ts(victim) else {
             return Ok(());
         };
@@ -80,6 +86,7 @@ impl MemSystem {
 
     /// Removes a line from a core's private caches (invalidation).
     pub(crate) fn invalidate_private(&mut self, core: CoreId, line: LineAddr) {
+        self.cap.core(core);
         if super::trace_enabled() {
             eprintln!("    [proto] invalidate {core:?} {line}");
         }
@@ -89,8 +96,9 @@ impl MemSystem {
         self.stats.core_mut(core).invalidations += 1;
     }
 
-    pub(crate) fn dir(&self, line: LineAddr) -> DirState {
+    pub(crate) fn dir(&mut self, line: LineAddr) -> DirState {
         let bank = self.bank_of(line);
+        self.cap.l3(bank, self.l3[bank].set_of(line));
         self.l3[bank]
             .peek(line)
             .expect("dir lookup before l3_ensure")
@@ -100,6 +108,7 @@ impl MemSystem {
 
     pub(crate) fn set_dir(&mut self, line: LineAddr, dir: DirState) {
         let bank = self.bank_of(line);
+        self.cap.l3(bank, self.l3[bank].set_of(line));
         self.l3[bank]
             .get(line)
             .expect("dir update before l3_ensure")
@@ -114,20 +123,23 @@ impl MemSystem {
     /// one: a stale slot here would silently corrupt another line's
     /// directory state in release sweeps, and the branch is trivially
     /// predicted next to the set scan it replaced.
-    pub(crate) fn dir_at(&self, bank: usize, slot: Slot, line: LineAddr) -> DirState {
+    pub(crate) fn dir_at(&mut self, bank: usize, slot: Slot, line: LineAddr) -> DirState {
+        self.cap.l3(bank, self.l3[bank].set_of(line));
         let e = self.l3[bank].entry(slot);
         assert_eq!(e.tag, line, "stale L3 slot");
         e.meta.dir
     }
 
     pub(crate) fn set_dir_at(&mut self, bank: usize, slot: Slot, line: LineAddr, dir: DirState) {
+        self.cap.l3(bank, self.l3[bank].set_of(line));
         self.l3[bank].touch(slot);
         let e = self.l3[bank].entry_mut(slot);
         assert_eq!(e.tag, line, "stale L3 slot");
         e.meta.dir = dir;
     }
 
-    pub(crate) fn l3_data_at(&self, bank: usize, slot: Slot, line: LineAddr) -> LineData {
+    pub(crate) fn l3_data_at(&mut self, bank: usize, slot: Slot, line: LineAddr) -> LineData {
+        self.cap.l3(bank, self.l3[bank].set_of(line));
         let e = self.l3[bank].entry(slot);
         assert_eq!(e.tag, line, "stale L3 slot");
         e.data
@@ -141,6 +153,7 @@ impl MemSystem {
         data: LineData,
         dirty: bool,
     ) {
+        self.cap.l3(bank, self.l3[bank].set_of(line));
         self.l3[bank].touch(slot);
         let e = self.l3[bank].entry_mut(slot);
         assert_eq!(e.tag, line, "stale L3 slot");

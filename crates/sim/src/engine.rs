@@ -1,0 +1,764 @@
+//! Interchangeable machine engines: the serial min-clock scheduler and the
+//! epoch-parallel scheduler.
+//!
+//! # The serial engine
+//!
+//! [`SerialEngine`] is the reference semantics: a discrete-event loop that
+//! always steps the core with the minimum `(clock, index)` key, delivering
+//! protocol events (asynchronous aborts) between steps. Everything the
+//! simulator promises about determinism is defined in terms of this order.
+//!
+//! # The epoch-parallel engine
+//!
+//! [`EpochEngine`] exploits the same insight the simulated system does:
+//! most concurrent accesses don't conflict, so cores can be stepped
+//! speculatively in parallel and serialized only when their access sets
+//! actually overlap. It partitions the clock timeline into bounded
+//! *epochs* (`[min_clock, min_clock + E)`) and the cores into fixed
+//! contiguous groups, one per worker thread. Each epoch:
+//!
+//! 1. every live core is checkpointed ([`commtm_htm::CoreExec::checkpoint`]),
+//! 2. scoped worker threads step their own group in local min-clock order
+//!    against a *clone* of the [`MemSystem`], with footprint capture
+//!    enabled ([`commtm_protocol::Footprint`]) and transaction timestamps
+//!    drawn from per-worker placeholder ranges,
+//! 3. the engine validates the epoch: no worker touched a core outside its
+//!    group, no cross-worker abort event, the workers' L3-set and
+//!    memory-line footprints are pairwise disjoint, and at most one worker
+//!    consumed protocol RNG,
+//! 4. on success the clones' effects are absorbed back
+//!    ([`MemSystem::absorb_worker`]) and placeholder timestamps are
+//!    reassigned in global `(clock, core)` order — exactly the order the
+//!    serial scheduler would have drawn them — so even livelock
+//!    arbitration in later epochs is unchanged;
+//! 5. on any conflict the checkpoints are restored and the same epoch is
+//!    replayed serially on the real state.
+//!
+//! Because a core's step only touches shared state through the
+//! [`MemSystem`] (replay logs, registers, user state and the per-core RNG
+//! are all core-local), a validated epoch is *provably* identical to the
+//! serial interleaving: within a group the worker uses the very same
+//! min-clock loop, and across groups the footprints certify that no step
+//! could observe another group's effects. Results are therefore
+//! byte-identical to [`SerialEngine`] by construction — the determinism
+//! golden, the figure goldens and the bench fingerprints all gate on it.
+//!
+//! Conflict-heavy phases (e.g. the baseline HTM serializing a contended
+//! counter) would make speculative epochs pure overhead, so the engine
+//! backs off: after a conflicted epoch it runs a geometrically growing
+//! number of serial epochs before attempting to speculate again, and
+//! epoch length adapts (doubling on success, halving on conflict).
+//! Workers also bail out of an epoch as soon as their own footprint
+//! touches a foreign core, which caps the wasted work of a doomed
+//! speculation at roughly one conflicting access per worker.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use commtm_htm::{CoreExec, StepResult, TsSource};
+use commtm_mem::CoreId;
+use commtm_protocol::{MemSystem, ProtoEvent, TxEntry, TxTable};
+
+use crate::machine::{MachineConfig, SimError};
+
+/// Placeholder timestamps live above this base; real timestamps stay
+/// below it (the serial counter would need ~2^48 transactions to reach
+/// it). Each worker draws from its own `base + worker << 32` range so
+/// placeholders are unique without cross-thread coordination.
+const TS_PLACEHOLDER_BASE: u64 = 1 << 48;
+
+/// Epoch length bounds (cycles) and growth policy for [`EpochEngine`].
+const EPOCH_MIN: u64 = 2_048;
+const EPOCH_MAX: u64 = 1 << 20;
+/// Serial-stretch backoff after a conflicted speculation, in simulated
+/// cycles: starts small (one conflicted warm-up epoch shouldn't serialize
+/// a whole run), grows fast for persistently conflicting workloads.
+const HOLD_MIN: u64 = 4 << 10;
+const HOLD_MAX: u64 = 8 << 20;
+const HOLD_GROWTH: u64 = 8;
+/// Above this hold length the engine stops maintaining worker clones:
+/// running the long serial stretch with footprint capture (to heal the
+/// clones later) costs more than simply re-cloning at the next, rare,
+/// speculation attempt.
+const HOLD_RECLONE: u64 = 512 << 10;
+
+/// The mutable machine state an engine drives (split-borrowed out of
+/// [`crate::Machine`] for the duration of a run).
+pub struct EngineCtx<'a> {
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) sys: &'a mut MemSystem,
+    pub(crate) txs: &'a mut TxTable,
+    pub(crate) cores: &'a mut [Option<CoreExec>],
+    pub(crate) next_ts: &'a mut u64,
+}
+
+/// A machine execution strategy. Both implementations produce
+/// byte-identical results; they differ only in host wall-clock time.
+pub trait Engine: Send + Sync {
+    /// Short name recorded in experiment metadata (`"serial"`, `"epoch"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs every installed program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a core exceeds the configured cycle limit.
+    fn run(&self, m: &mut EngineCtx<'_>) -> Result<(), SimError>;
+}
+
+/// Picks the engine a configuration asks for: the epoch-parallel engine
+/// when `machine_threads > 1`, else the serial reference engine.
+pub fn for_config(cfg: &MachineConfig) -> Box<dyn Engine> {
+    if cfg.machine_threads > 1 {
+        Box::new(EpochEngine::new(cfg.machine_threads))
+    } else {
+        Box::new(SerialEngine)
+    }
+}
+
+/// What one bounded scheduling stretch observed.
+struct LoopOutcome {
+    /// A core exceeded the cycle limit (the loop stopped at that point).
+    error: Option<SimError>,
+    /// An abort event targeted a core outside the stepped set (epoch
+    /// workers only; the serial engine steps every core).
+    foreign_event: bool,
+}
+
+/// The min-clock scheduling loop, bounded by `horizon`: steps every core
+/// of `cores` whose scheduling key `(clock, index)` has `clock < horizon`,
+/// in key order, exactly as the original monolithic `Machine::run` loop
+/// did. With `horizon == u64::MAX` this *is* the serial engine.
+///
+/// `bail_on_foreign` makes the loop stop as soon as the memory system's
+/// footprint capture reports a touch outside its owned core set — the
+/// epoch is doomed to be replayed serially, so any further speculative
+/// work is wasted.
+#[allow(clippy::too_many_arguments)]
+fn run_min_clock(
+    cores: &mut [(usize, &mut CoreExec)],
+    sys: &mut MemSystem,
+    txs: &mut TxTable,
+    cfg: &MachineConfig,
+    ts: &mut dyn TsSource,
+    horizon: u64,
+    bail_on_foreign: bool,
+) -> LoopOutcome {
+    let mut out = LoopOutcome {
+        error: None,
+        foreign_event: false,
+    };
+    // Slot position of each global core index within `cores` (event
+    // delivery is addressed by global index).
+    let max_idx = cores.iter().map(|(i, _)| *i).max().map_or(0, |m| m + 1);
+    let mut pos_of: Vec<usize> = vec![usize::MAX; max_idx];
+    for (pos, (i, _)) in cores.iter().enumerate() {
+        pos_of[*i] = pos;
+    }
+
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, c) in cores.iter() {
+        if !c.is_done() && c.clock() < horizon {
+            heap.push(Reverse((c.clock(), *i)));
+        }
+    }
+
+    // One event buffer threaded through every step (and from there through
+    // `MemSystem::access_into`): the steady-state loop reuses it instead
+    // of allocating per access.
+    let mut events: Vec<ProtoEvent> = Vec::new();
+    while let Some(Reverse((c0, idx))) = heap.pop() {
+        if c0 >= horizon {
+            continue;
+        }
+        // Run-to-completion batching: keep stepping this core while it
+        // remains the minimum-(clock, index) core. The step sequence is
+        // identical to push-then-pop scheduling — the heap would hand the
+        // same core straight back — but the common uncontended case skips
+        // the heap traffic entirely.
+        loop {
+            let core = &mut *cores[pos_of[idx]].1;
+            let result = core.step(sys, txs, &cfg.htm, ts, &mut events);
+            let clock = core.clock();
+
+            // Deliver asynchronous aborts to their victims.
+            for ev in events.drain(..) {
+                match ev {
+                    ProtoEvent::Aborted {
+                        core: victim,
+                        cause,
+                    } => {
+                        let vpos = pos_of.get(victim.index()).copied();
+                        match vpos.filter(|&p| p != usize::MAX) {
+                            Some(p) => cores[p].1.notify_aborted(cause),
+                            None => out.foreign_event = true,
+                        }
+                    }
+                }
+            }
+
+            if clock > cfg.max_cycles {
+                out.error = Some(SimError::CycleLimit { core: idx, clock });
+                return out;
+            }
+            if bail_on_foreign && (out.foreign_event || sys.footprint().touched_foreign()) {
+                return out;
+            }
+            if result != StepResult::Ran {
+                break;
+            }
+            if clock >= horizon {
+                heap.push(Reverse((clock, idx)));
+                break;
+            }
+            match heap.peek() {
+                Some(&Reverse(next)) if (clock, idx) > next => {
+                    heap.push(Reverse((clock, idx)));
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The extracted serial min-clock engine — behavior-identical to the
+/// pre-refactor monolithic `Machine::run` loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialEngine;
+
+impl Engine for SerialEngine {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn run(&self, m: &mut EngineCtx<'_>) -> Result<(), SimError> {
+        let mut cores: Vec<(usize, &mut CoreExec)> = m
+            .cores
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| (i, c.as_mut().expect("program installed")))
+            .collect();
+        let out = run_min_clock(&mut cores, m.sys, m.txs, m.cfg, m.next_ts, u64::MAX, false);
+        match out.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A per-worker placeholder timestamp source (see the module docs): draws
+/// unique values above [`TS_PLACEHOLDER_BASE`] and logs `(clock, core)`
+/// per draw so the engine can reassign real timestamps in the serial
+/// draw order afterwards.
+struct PlaceholderTs {
+    next: u64,
+    draws: Vec<TsDraw>,
+}
+
+struct TsDraw {
+    clock: u64,
+    core: usize,
+    placeholder: u64,
+}
+
+impl PlaceholderTs {
+    fn new(worker: usize) -> Self {
+        PlaceholderTs {
+            next: TS_PLACEHOLDER_BASE + ((worker as u64) << 32),
+            draws: Vec::new(),
+        }
+    }
+}
+
+impl TsSource for PlaceholderTs {
+    fn next_ts(&mut self, core: CoreId, clock: u64) -> u64 {
+        let p = self.next;
+        self.next += 1;
+        self.draws.push(TsDraw {
+            clock,
+            core: core.index(),
+            placeholder: p,
+        });
+        p
+    }
+}
+
+/// What one epoch worker hands back to the engine.
+struct WorkerOut {
+    sys: MemSystem,
+    txs: TxTable,
+    draws: Vec<TsDraw>,
+    error: Option<SimError>,
+    foreign: bool,
+}
+
+/// The epoch-parallel engine (see the module docs for the protocol).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochEngine {
+    /// Worker threads stepping core groups concurrently (≥ 2 to engage;
+    /// a single worker degenerates to the serial engine).
+    pub threads: usize,
+}
+
+impl EpochEngine {
+    /// An engine with `threads` workers and default epoch bounds.
+    pub fn new(threads: usize) -> Self {
+        EpochEngine {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// Whether `COMMTM_ENGINE_STATS` is set: prints per-run epoch-engine
+/// counters on stderr (attempts, commits, fallbacks, time split).
+fn engine_stats_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("COMMTM_ENGINE_STATS").is_ok())
+}
+
+thread_local! {
+    /// Whether this thread is executing a speculative epoch. Worker clones
+    /// keep foreign cores' private state stale (syncing it every epoch
+    /// would cost more than the speculation saves), so a protocol flow
+    /// that reaches a foreign core — a conflict by definition, already
+    /// recorded in the footprint — can panic on the inconsistency it
+    /// finds there before the epoch is validated and discarded. Those
+    /// panics are an expected speculation outcome: they are caught, turn
+    /// the epoch into a serial replay, and must not reach stderr.
+    static SPECULATING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// panics inside speculative epoch workers and delegates everything else
+/// to the previously-installed hook.
+fn install_quiet_speculation_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SPECULATING.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Epoch-engine observability counters (stderr dump, env-gated).
+#[derive(Default)]
+struct EngineStats {
+    attempts: u64,
+    commits: u64,
+    fallbacks: u64,
+    serial_stretches: u64,
+    clone_builds: u64,
+    heals: u64,
+    spec_ms: f64,
+    replay_ms: f64,
+    serial_ms: f64,
+    sync_ms: f64,
+}
+
+impl Engine for EpochEngine {
+    fn name(&self) -> &'static str {
+        "epoch"
+    }
+
+    fn run(&self, m: &mut EngineCtx<'_>) -> Result<(), SimError> {
+        let ncores = m.cores.len();
+        let nworkers = self.threads.min(ncores).max(1);
+        if nworkers < 2 {
+            return SerialEngine.run(m);
+        }
+        install_quiet_speculation_hook();
+        debug_assert!(
+            ncores <= 128,
+            "footprint core masks cap the architecture at 128 cores"
+        );
+
+        // Fixed contiguous core → worker assignment for the whole run.
+        // Stability matters: a worker's clone only keeps *its own* cores'
+        // private caches fresh, so ownership must never migrate.
+        let worker_of: Vec<usize> = (0..ncores).map(|i| i * nworkers / ncores).collect();
+        let owned_mask: Vec<u128> = (0..nworkers)
+            .map(|w| {
+                (0..ncores)
+                    .filter(|&i| worker_of[i] == w)
+                    .fold(0u128, |m, i| m | (1u128 << i))
+            })
+            .collect();
+
+        let all_mask: u128 = if ncores == 128 {
+            u128::MAX
+        } else {
+            (1u128 << ncores) - 1
+        };
+        let mut epoch_len = EPOCH_MIN;
+        // Serial backoff state: after a conflicted speculation the engine
+        // runs `hold_cycles` of the timeline serially before speculating
+        // again; consecutive conflicts grow the stretch geometrically.
+        let mut hold_cycles: u64 = 0;
+        let mut next_hold: u64 = HOLD_MIN;
+        // Persistent worker clones of the memory system: created lazily at
+        // a speculative attempt, patched incrementally after successful
+        // epochs, healed from the base (via the accumulated `stale`
+        // footprint) after conflicted ones, and dropped only when a long
+        // serial stretch makes re-cloning cheaper than capture.
+        let mut clones: Option<Vec<MemSystem>> = None;
+        // Everything the clones have drifted from since their last sync:
+        // failed-speculation garbage plus whatever serial stretches
+        // touched on the base. `clones_dirty` says the accumulated
+        // footprint (and every core's private state) must be healed into
+        // the clones before they can be trusted again.
+        let mut stale = commtm_protocol::Footprint::default();
+        let mut clones_dirty = false;
+        let mut st = EngineStats::default();
+
+        loop {
+            let min_clock = m
+                .cores
+                .iter()
+                .flatten()
+                .filter(|c| !c.is_done())
+                .map(|c| c.clock())
+                .min();
+            let Some(min_clock) = min_clock else {
+                if engine_stats_enabled() {
+                    eprintln!(
+                        "[engine] cores={} workers={} attempts={} commits={} fallbacks={} \
+                         stretches={} clones={} heals={} spec={:.1}ms replay={:.1}ms \
+                         serial={:.1}ms sync={:.1}ms",
+                        ncores,
+                        nworkers,
+                        st.attempts,
+                        st.commits,
+                        st.fallbacks,
+                        st.serial_stretches,
+                        st.clone_builds,
+                        st.heals,
+                        st.spec_ms,
+                        st.replay_ms,
+                        st.serial_ms,
+                        st.sync_ms
+                    );
+                }
+                return Ok(()); // all programs finished
+            };
+
+            // Which workers still have live cores?
+            let live_workers = (0..nworkers)
+                .filter(|&w| {
+                    m.cores
+                        .iter()
+                        .enumerate()
+                        .any(|(i, c)| worker_of[i] == w && c.as_ref().is_some_and(|c| !c.is_done()))
+                })
+                .count();
+
+            if hold_cycles > 0 || live_workers < 2 {
+                let stretch = if live_workers < 2 {
+                    u64::MAX // tail: no parallelism left, finish serially
+                } else {
+                    hold_cycles
+                };
+                hold_cycles = 0;
+                st.serial_stretches += 1;
+                let t_serial = std::time::Instant::now();
+                let horizon = min_clock.saturating_add(stretch);
+                // For long stretches (or the serial tail) drop the clones
+                // and skip capture; for short ones capture what the
+                // stretch touches so the clones can be healed in place.
+                let keep_clones = clones.is_some() && stretch < HOLD_RECLONE;
+                if keep_clones {
+                    m.sys.capture_reset(all_mask);
+                } else {
+                    clones = None;
+                }
+                let mut cores: Vec<(usize, &mut CoreExec)> = m
+                    .cores
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, c)| (i, c.as_mut().expect("program installed")))
+                    .collect();
+                let out = run_min_clock(&mut cores, m.sys, m.txs, m.cfg, m.next_ts, horizon, false);
+                if keep_clones {
+                    m.sys.capture_disable();
+                    stale.merge(m.sys.footprint());
+                    clones_dirty = true;
+                }
+                st.serial_ms += t_serial.elapsed().as_secs_f64() * 1e3;
+                if let Some(e) = out.error {
+                    return Err(e);
+                }
+                continue;
+            }
+            let horizon = min_clock.saturating_add(epoch_len);
+
+            // --- Speculative parallel epoch ---
+            st.attempts += 1;
+            let t_spec = std::time::Instant::now();
+            debug_assert!(
+                *m.next_ts < TS_PLACEHOLDER_BASE,
+                "timestamp counter ran into the placeholder range"
+            );
+            let checkpoints: Vec<(usize, commtm_htm::CoreCheckpoint)> = m
+                .cores
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    c.as_ref()
+                        .filter(|c| !c.is_done())
+                        .map(|c| (i, c.checkpoint()))
+                })
+                .collect();
+            let worker_sys = match clones.take() {
+                Some(mut kept) => {
+                    if clones_dirty {
+                        st.heals += 1;
+                        // Heal in place: copy every core's private caches
+                        // and stats plus every stale L3 set / memory line
+                        // from the base — far cheaper than re-cloning the
+                        // full system (the L3 tag arrays dominate a clone).
+                        for clone in &mut kept {
+                            clone.absorb_worker(m.sys, &stale, all_mask);
+                            clone.adopt_rng(m.sys);
+                        }
+                    }
+                    kept
+                }
+                None => {
+                    st.clone_builds += 1;
+                    (0..nworkers).map(|_| m.sys.clone()).collect()
+                }
+            };
+            stale = commtm_protocol::Footprint::default();
+            clones_dirty = false;
+
+            // Partition the cores into per-worker borrow lists.
+            let mut parts: Vec<Vec<(usize, &mut CoreExec)>> =
+                (0..nworkers).map(|_| Vec::new()).collect();
+            for (i, c) in m.cores.iter_mut().enumerate() {
+                let c = c.as_mut().expect("program installed");
+                if !c.is_done() {
+                    parts[worker_of[i]].push((i, c));
+                }
+            }
+
+            let cfg = m.cfg;
+            let base_txs: &TxTable = m.txs;
+            let mut outs: Vec<WorkerOut> = Vec::with_capacity(nworkers);
+            let mut panicked = false;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .zip(worker_sys)
+                    .enumerate()
+                    .map(|(w, (mut cores, mut sys))| {
+                        let owned = owned_mask[w];
+                        scope.spawn(move || {
+                            sys.capture_reset(owned);
+                            let mut txs = base_txs.clone();
+                            let mut ts = PlaceholderTs::new(w);
+                            // A speculative step may panic on stale
+                            // foreign state (see SPECULATING); catch it
+                            // and turn the epoch into a conflict. The
+                            // poisoned clone and cores are discarded /
+                            // restored by the conflict path.
+                            SPECULATING.with(|f| f.set(true));
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_min_clock(
+                                        &mut cores, &mut sys, &mut txs, cfg, &mut ts, horizon, true,
+                                    )
+                                }));
+                            SPECULATING.with(|f| f.set(false));
+                            sys.capture_disable();
+                            match caught {
+                                Ok(out) => {
+                                    let foreign =
+                                        out.foreign_event || sys.footprint().touched_foreign();
+                                    Ok(WorkerOut {
+                                        sys,
+                                        txs,
+                                        draws: ts.draws,
+                                        error: out.error,
+                                        foreign,
+                                    })
+                                }
+                                // A panic without a recorded foreign touch
+                                // cannot be blamed on stale foreign state
+                                // (every path to another core's state
+                                // captures the core first): that is a real
+                                // bug, not a speculation outcome, and must
+                                // not be silently absorbed as a conflict.
+                                Err(payload) => Err((payload, sys.footprint().touched_foreign())),
+                            }
+                        })
+                    })
+                    .collect();
+                let mut real_bug: Option<Box<dyn std::any::Any + Send>> = None;
+                for h in handles {
+                    match h.join() {
+                        Ok(Ok(o)) => outs.push(o),
+                        Ok(Err((payload, foreign))) => {
+                            panicked = true;
+                            if !foreign {
+                                real_bug.get_or_insert(payload);
+                            }
+                        }
+                        Err(payload) => {
+                            panicked = true;
+                            real_bug.get_or_insert(payload);
+                        }
+                    }
+                }
+                if let Some(payload) = real_bug {
+                    std::panic::resume_unwind(payload);
+                }
+            });
+
+            st.spec_ms += t_spec.elapsed().as_secs_f64() * 1e3;
+            let conflict = panicked
+                || outs.iter().any(|o| o.foreign || o.error.is_some())
+                || outs
+                    .iter()
+                    .filter(|o| o.sys.footprint().rng_draws() > 0)
+                    .count()
+                    > 1
+                || !pairwise_disjoint(&outs);
+
+            if conflict {
+                st.fallbacks += 1;
+                let t_replay = std::time::Instant::now();
+                // Roll every core back and replay the epoch serially on
+                // the real state — the reference semantics decide.
+                for (i, cp) in checkpoints {
+                    m.cores[i].as_mut().expect("program installed").restore(cp);
+                }
+                if panicked {
+                    // A worker died without handing its footprint back, so
+                    // the extent of its clone's garbage is unknown.
+                    clones = None;
+                } else {
+                    // Keep the clones; remember the regions the failed
+                    // speculation polluted so the next attempt heals them.
+                    for o in &outs {
+                        stale.merge(o.sys.footprint());
+                    }
+                    clones = Some(outs.into_iter().map(|o| o.sys).collect());
+                    clones_dirty = true;
+                }
+                let keep_clones = clones.is_some();
+                if keep_clones {
+                    m.sys.capture_reset(all_mask);
+                }
+                let mut cores: Vec<(usize, &mut CoreExec)> = m
+                    .cores
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, c)| (i, c.as_mut().expect("program installed")))
+                    .collect();
+                let out = run_min_clock(&mut cores, m.sys, m.txs, m.cfg, m.next_ts, horizon, false);
+                if keep_clones {
+                    m.sys.capture_disable();
+                    stale.merge(m.sys.footprint());
+                }
+                st.replay_ms += t_replay.elapsed().as_secs_f64() * 1e3;
+                if let Some(e) = out.error {
+                    return Err(e);
+                }
+                hold_cycles = next_hold;
+                next_hold = next_hold.saturating_mul(HOLD_GROWTH).min(HOLD_MAX);
+                epoch_len = (epoch_len / 2).max(EPOCH_MIN);
+                continue;
+            }
+
+            // --- Commit: absorb worker effects into the base system ---
+            st.commits += 1;
+            let t_sync = std::time::Instant::now();
+            for (w, o) in outs.iter().enumerate() {
+                m.sys
+                    .absorb_worker(&o.sys, o.sys.footprint(), owned_mask[w]);
+                for (i, &ow) in worker_of.iter().enumerate() {
+                    if ow == w {
+                        MemSystem::copy_tx_entry(m.txs, &o.txs, CoreId::new(i));
+                    }
+                }
+            }
+            if let Some(o) = outs.iter().find(|o| o.sys.footprint().rng_draws() > 0) {
+                m.sys.adopt_rng(&o.sys);
+            }
+
+            // Reassign placeholder timestamps in global (clock, core)
+            // order — the serial draw order.
+            let mut draws: Vec<&TsDraw> = outs.iter().flat_map(|o| o.draws.iter()).collect();
+            draws.sort_by_key(|d| (d.clock, d.core));
+            if !draws.is_empty() {
+                let mut map = commtm_mem::FxHashMap::<u64, u64>::default();
+                for d in draws {
+                    map.insert(d.placeholder, *m.next_ts);
+                    *m.next_ts += 1;
+                }
+                for (i, c) in m.cores.iter_mut().enumerate() {
+                    let c = c.as_mut().expect("program installed");
+                    if let Some(p) = c.held_ts() {
+                        if p >= TS_PLACEHOLDER_BASE {
+                            c.rewrite_held_ts(map[&p]);
+                        }
+                    }
+                    let e = m.txs.entry(CoreId::new(i));
+                    if e.active && e.ts >= TS_PLACEHOLDER_BASE {
+                        m.txs.set_entry(
+                            CoreId::new(i),
+                            TxEntry {
+                                active: true,
+                                ts: map[&e.ts],
+                            },
+                        );
+                    }
+                }
+            }
+
+            // Resync the clones with everything this epoch changed — the
+            // union of all workers' touched L3 sets and memory lines,
+            // copied from the freshly-merged base — plus the base RNG, so
+            // the next speculative epoch starts from shared state equal to
+            // the base. Foreign private caches may stay stale: touching
+            // them is a conflict by definition, so staleness is never
+            // observable in a committed epoch. (Transaction tables are
+            // re-cloned from the base at every attempt, so they need no
+            // patching here.)
+            let mut kept: Vec<MemSystem> = outs.into_iter().map(|o| o.sys).collect();
+            let footprints: Vec<commtm_protocol::Footprint> =
+                kept.iter().map(|s| s.footprint().clone()).collect();
+            for clone in &mut kept {
+                for fp in &footprints {
+                    clone.absorb_worker(m.sys, fp, 0);
+                }
+                clone.adopt_rng(m.sys);
+            }
+            clones = Some(kept);
+            st.sync_ms += t_sync.elapsed().as_secs_f64() * 1e3;
+
+            hold_cycles = 0;
+            next_hold = HOLD_MIN;
+            epoch_len = (epoch_len * 2).min(EPOCH_MAX);
+        }
+    }
+}
+
+fn pairwise_disjoint(outs: &[WorkerOut]) -> bool {
+    for a in 0..outs.len() {
+        for b in a + 1..outs.len() {
+            if !outs[a]
+                .sys
+                .footprint()
+                .disjoint_shared(outs[b].sys.footprint())
+            {
+                return false;
+            }
+        }
+    }
+    true
+}

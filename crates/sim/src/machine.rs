@@ -1,12 +1,10 @@
 //! The simulated machine and its deterministic scheduler.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
-use commtm_htm::{CoreExec, CoreStats, HtmConfig, Scheme, StepResult};
+use commtm_htm::{CoreExec, CoreStats, HtmConfig, Scheme};
 use commtm_mem::{Addr, CoreId, Heap};
-use commtm_protocol::{LabelTable, MemOp, MemSystem, ProtoConfig, ProtoEvent, TxTable};
+use commtm_protocol::{LabelTable, MemOp, MemSystem, ProtoConfig, TxTable};
 use commtm_tx::Program;
 
 use crate::report::RunReport;
@@ -26,6 +24,11 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Safety valve: abort the run if any core's clock exceeds this bound.
     pub max_cycles: u64,
+    /// Host threads stepping this one machine (see [`crate::engine`]):
+    /// `1` selects the serial reference engine, `> 1` the epoch-parallel
+    /// engine with that many workers. Results are byte-identical either
+    /// way; only wall-clock time changes.
+    pub machine_threads: usize,
 }
 
 impl MachineConfig {
@@ -38,7 +41,15 @@ impl MachineConfig {
             htm: HtmConfig::new(scheme),
             seed: 0x5EED,
             max_cycles: u64::MAX,
+            machine_threads: 1,
         }
+    }
+
+    /// Sets the number of host threads stepping this machine (the engine
+    /// choice; see [`MachineConfig::machine_threads`]).
+    pub fn with_machine_threads(mut self, threads: usize) -> Self {
+        self.machine_threads = threads.max(1);
+        self
     }
 
     /// Overrides the base RNG seed (for multi-seed experiments).
@@ -77,6 +88,9 @@ impl MachineConfig {
         if let Some(v) = t.max_cycles {
             self.max_cycles = v;
         }
+        if let Some(v) = t.machine_threads {
+            self.machine_threads = v.max(1);
+        }
     }
 }
 
@@ -107,6 +121,9 @@ pub struct Tuning {
     pub split_cycles: Option<u64>,
     /// Safety valve: abort the run past this many cycles.
     pub max_cycles: Option<u64>,
+    /// Host threads stepping each machine (engine selection; results are
+    /// engine-independent).
+    pub machine_threads: Option<usize>,
 }
 
 /// Simulation failure.
@@ -193,6 +210,10 @@ impl Machine {
 
     /// Installs the program and per-thread user state for one core.
     ///
+    /// User state is any `Clone + Send + 'static` value (see
+    /// [`commtm_tx::UserState`]); cloneability is what lets the
+    /// epoch-parallel engine checkpoint cores.
+    ///
     /// # Panics
     ///
     /// Panics if `thread` is out of range.
@@ -200,7 +221,7 @@ impl Machine {
         &mut self,
         thread: usize,
         program: Program,
-        user: impl std::any::Any + Send,
+        user: impl commtm_tx::UserState,
     ) {
         let core = CoreId::new(thread);
         let seed = self
@@ -211,36 +232,37 @@ impl Machine {
         self.cores[thread] = Some(CoreExec::new(core, program, user, seed, &self.cfg.htm));
     }
 
-    /// Runs all programs to completion under the deterministic min-clock
-    /// scheduler and returns the aggregated report.
+    /// Runs all programs to completion and returns the aggregated report.
+    ///
+    /// The engine is chosen by [`MachineConfig::machine_threads`]: the
+    /// serial min-clock scheduler (the reference semantics) or the
+    /// epoch-parallel scheduler, which produces byte-identical results
+    /// from multiple host threads (see [`crate::engine`]).
     ///
     /// # Errors
     ///
     /// Fails if a core has no program or exceeds the configured cycle
     /// limit.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let engine = crate::engine::for_config(&self.cfg);
+        self.run_with(engine.as_ref())
+    }
+
+    /// Like [`Machine::run`], under an explicit engine (the equivalence
+    /// tests drive both engines over the same machine configuration).
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_with(&mut self, engine: &dyn crate::engine::Engine) -> Result<RunReport, SimError> {
         for (i, c) in self.cores.iter().enumerate() {
             if c.is_none() {
                 return Err(SimError::MissingProgram { core: i });
             }
         }
 
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for (i, c) in self.cores.iter().enumerate() {
-            let c = c.as_ref().expect("checked above");
-            if !c.is_done() {
-                heap.push(Reverse((c.clock(), i)));
-            }
-        }
-
-        // One event buffer threaded through every step (and from there
-        // through `MemSystem::access_into`): the steady-state loop reuses
-        // it instead of allocating per access.
-        let mut events: Vec<ProtoEvent> = Vec::new();
         // Split borrows once: stepping a core needs `&mut` to the core,
         // the memory system, and the transaction table at the same time.
-        // Indexing through `self` would force moving the (large) CoreExec
-        // out of the vec and back on every step.
         let Machine {
             cfg,
             sys,
@@ -249,45 +271,14 @@ impl Machine {
             next_ts,
             ..
         } = self;
-        while let Some(Reverse((_, idx))) = heap.pop() {
-            // Run-to-completion batching: keep stepping this core while it
-            // remains the minimum-(clock, index) core. The step sequence is
-            // identical to push-then-pop scheduling — the heap would hand
-            // the same core straight back — but the common uncontended case
-            // skips the heap traffic entirely.
-            loop {
-                let core = cores[idx].as_mut().expect("core present");
-                let result = core.step(sys, txs, &cfg.htm, next_ts, &mut events);
-                let clock = core.clock();
-
-                // Deliver asynchronous aborts to their victims.
-                for ev in events.drain(..) {
-                    match ev {
-                        ProtoEvent::Aborted {
-                            core: victim,
-                            cause,
-                        } => {
-                            let v = cores[victim.index()].as_mut().expect("victim core exists");
-                            v.notify_aborted(cause);
-                        }
-                    }
-                }
-
-                if clock > cfg.max_cycles {
-                    return Err(SimError::CycleLimit { core: idx, clock });
-                }
-                if result != StepResult::Ran {
-                    break;
-                }
-                match heap.peek() {
-                    Some(&Reverse(next)) if (clock, idx) > next => {
-                        heap.push(Reverse((clock, idx)));
-                        break;
-                    }
-                    _ => {}
-                }
-            }
-        }
+        let mut ctx = crate::engine::EngineCtx {
+            cfg,
+            sys,
+            txs,
+            cores,
+            next_ts,
+        };
+        engine.run(&mut ctx)?;
 
         debug_assert!(
             self.sys.check_invariants().is_ok(),

@@ -1,0 +1,239 @@
+//! Serial ↔ epoch-parallel engine equivalence: both engines must produce
+//! **byte-identical** results from the same machine configuration and
+//! programs — same statistics, same final memory values, same abort
+//! counts, every time.
+//!
+//! The proptest builds randomized counter/list-style program mixes
+//! (labeled adds on contended lines, plain read-modify-writes that force
+//! conflicts and reductions, per-thread private traffic) across both
+//! schemes, runs each machine under the serial reference engine and the
+//! epoch-parallel engine, and compares the full [`RunReport`]s plus the
+//! logical memory values. This is the test that lets the engine claim
+//! "byte-identical by construction" — any divergence in scheduling,
+//! footprint capture, the merge, timestamp reassignment, or the fallback
+//! replay shows up here as a report mismatch.
+
+use proptest::prelude::*;
+
+use commtm_mem::{Addr, LineData, WORDS_PER_LINE};
+use commtm_protocol::{LabelDef, LabelTable};
+use commtm_sim::{EpochEngine, Machine, MachineConfig, RunReport, Scheme, SerialEngine};
+use commtm_tx::{Ctl, Program};
+
+fn add_table() -> LabelTable {
+    let mut t = LabelTable::new();
+    t.register(
+        LabelDef::new("ADD", LineData::zeroed(), |_, dst, src| {
+            for i in 0..WORDS_PER_LINE {
+                dst[i] = dst[i].wrapping_add(src[i]);
+            }
+        })
+        .with_split(|_, local, out, n| {
+            for i in 0..WORDS_PER_LINE {
+                let v = local[i];
+                let d = v.div_ceil(n as u64);
+                out[i] = d;
+                local[i] = v - d;
+            }
+        }),
+    )
+    .unwrap();
+    t
+}
+
+const ADD: commtm_mem::LabelId = commtm_mem::LabelId::new(0);
+
+/// What one thread's transaction body does each iteration; the values
+/// come from the proptest case, so the grid of generated programs covers
+/// fully-disjoint (epoch-friendly), fully-contended (permanent fallback),
+/// and mixed workloads.
+#[derive(Clone, Copy, Debug)]
+struct ThreadPlan {
+    /// Labeled adds to the shared counter per transaction.
+    labeled: usize,
+    /// Plain read-modify-writes to a contended line per transaction.
+    contended: usize,
+    /// Plain read-modify-writes to the thread's private line.
+    private: usize,
+    /// Transactions this thread commits.
+    iters: u64,
+}
+
+/// Builds the machine: a shared counter line, a contended plain line, one
+/// private line per thread, and one program per thread following its
+/// plan. Mirrors the counter (Fig. 9) and list-style mixed traffic the
+/// satellite asks for, at property-test scale.
+fn build(scheme: Scheme, plans: &[ThreadPlan], seed: u64) -> (Machine, Vec<Addr>) {
+    let threads = plans.len();
+    let cfg = MachineConfig::new(threads, scheme).with_seed(seed);
+    let mut m = Machine::new(cfg, add_table());
+    let counter = m.heap_mut().alloc_lines(1);
+    let contended = m.heap_mut().alloc_lines(1);
+    let privates: Vec<Addr> = (0..threads).map(|_| m.heap_mut().alloc_lines(1)).collect();
+
+    for (t, plan) in plans.iter().enumerate() {
+        let mine = privates[t];
+        let plan = *plan;
+        let mut p = Program::builder();
+        if plan.iters > 0 {
+            let top = p.here();
+            p.tx(move |c| {
+                for _ in 0..plan.labeled {
+                    let v = c.load_l(ADD, counter);
+                    c.store_l(ADD, counter, v + 1);
+                }
+                for _ in 0..plan.contended {
+                    let v = c.load(contended);
+                    c.store(contended, v + 1);
+                }
+                for _ in 0..plan.private {
+                    let v = c.load(mine);
+                    c.store(mine, v + 3);
+                }
+            });
+            p.ctl(move |c| {
+                c.regs[0] += 1;
+                if c.regs[0] < plan.iters {
+                    Ctl::Jump(top)
+                } else {
+                    Ctl::Done
+                }
+            });
+        }
+        m.set_program(t, p.build(), ());
+    }
+    let mut probes = vec![counter, contended];
+    probes.extend(privates);
+    (m, probes)
+}
+
+/// Runs the machine under an explicit engine and returns the report plus
+/// the post-run coherent values of every shared and private line.
+fn run_under(
+    scheme: Scheme,
+    plans: &[ThreadPlan],
+    seed: u64,
+    engine: &dyn commtm_sim::Engine,
+) -> (RunReport, Vec<u64>) {
+    let (mut m, probes) = build(scheme, plans, seed);
+    let report = m.run_with(engine).expect("simulation succeeds");
+    m.check_invariants().expect("coherence invariants");
+    let values = probes.iter().map(|a| m.read_word(*a)).collect();
+    (report, values)
+}
+
+fn plan_strategy() -> impl Strategy<Value = ThreadPlan> {
+    (0usize..3, 0usize..2, 0usize..3, 1u64..12).prop_map(|(labeled, contended, private, iters)| {
+        ThreadPlan {
+            labeled,
+            contended,
+            private,
+            iters,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: serial and epoch-parallel engines agree
+    /// byte-for-byte on randomized program mixes, under both schemes and
+    /// several worker counts.
+    #[test]
+    fn epoch_parallel_matches_serial(
+        plans in proptest::collection::vec(plan_strategy(), 2..9),
+        seed in 0u64..1_000,
+        workers in 2usize..5,
+    ) {
+        for scheme in [Scheme::CommTm, Scheme::Baseline] {
+            let (serial_report, serial_vals) =
+                run_under(scheme, &plans, seed, &SerialEngine);
+            let (epoch_report, epoch_vals) =
+                run_under(scheme, &plans, seed, &EpochEngine::new(workers));
+            prop_assert_eq!(
+                &serial_report,
+                &epoch_report,
+                "reports diverged under {:?} with {} workers",
+                scheme,
+                workers
+            );
+            prop_assert_eq!(&serial_vals, &epoch_vals);
+        }
+    }
+}
+
+/// A fixed high-contention case (every thread hammers the same plain
+/// line under the baseline): the epoch engine must permanently fall back
+/// and still match exactly.
+#[test]
+fn contended_baseline_matches() {
+    let plans = vec![
+        ThreadPlan {
+            labeled: 0,
+            contended: 2,
+            private: 0,
+            iters: 30
+        };
+        6
+    ];
+    let (a, av) = run_under(Scheme::Baseline, &plans, 7, &SerialEngine);
+    let (b, bv) = run_under(Scheme::Baseline, &plans, 7, &EpochEngine::new(3));
+    assert!(a.aborts() > 0, "contended baseline must abort");
+    assert_eq!(a, b);
+    assert_eq!(av, bv);
+}
+
+/// A fully-disjoint case (per-thread private lines only): the epoch
+/// engine should commit its speculative epochs, and still match.
+#[test]
+fn disjoint_commtm_matches() {
+    let plans = vec![
+        ThreadPlan {
+            labeled: 1,
+            contended: 0,
+            private: 2,
+            iters: 40
+        };
+        8
+    ];
+    let (a, av) = run_under(Scheme::CommTm, &plans, 3, &SerialEngine);
+    let (b, bv) = run_under(Scheme::CommTm, &plans, 3, &EpochEngine::new(4));
+    assert_eq!(a.aborts(), 0, "labeled + private traffic never conflicts");
+    assert_eq!(a, b);
+    assert_eq!(av, bv);
+}
+
+/// Cycle-limit errors must surface identically (same core, same clock)
+/// under both engines: the fallback replay reproduces the serial error
+/// point exactly.
+#[test]
+fn cycle_limit_errors_agree() {
+    let run_err = |engine: &dyn commtm_sim::Engine| {
+        let threads = 4;
+        let mut cfg = MachineConfig::new(threads, Scheme::Baseline).with_seed(9);
+        cfg.max_cycles = 4_000;
+        let mut m = Machine::new(cfg, add_table());
+        let contended = m.heap_mut().alloc_lines(1);
+        for t in 0..threads {
+            let mut p = Program::builder();
+            let top = p.here();
+            p.tx(move |c| {
+                let v = c.load(contended);
+                c.store(contended, v + 1);
+            });
+            p.ctl(move |c| {
+                c.regs[0] += 1;
+                if c.regs[0] < 1_000 {
+                    Ctl::Jump(top)
+                } else {
+                    Ctl::Done
+                }
+            });
+            m.set_program(t, p.build(), ());
+        }
+        m.run_with(engine).expect_err("must hit the cycle limit")
+    };
+    let a = run_err(&SerialEngine);
+    let b = run_err(&EpochEngine::new(3));
+    assert_eq!(a, b, "error point must be engine-independent");
+}

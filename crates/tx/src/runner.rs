@@ -44,18 +44,56 @@ pub trait MemPort {
     fn rand(&mut self) -> u64;
 }
 
+/// Per-thread user state: any `Clone + Send + 'static` value qualifies
+/// through the blanket implementation.
+///
+/// The clone hook is what lets the simulation engine checkpoint a core
+/// mid-run (the epoch-parallel scheduler snapshots every core before a
+/// speculative epoch and restores on conflict); `Any` keeps the existing
+/// downcast-based access in [`crate::TxCtx::user`] and
+/// [`crate::CtlCtx::user_mut`].
+pub trait UserState: Any + Send {
+    /// Clones the state behind the trait object.
+    fn clone_user(&self) -> Box<dyn UserState>;
+    /// Upcasts for downcast-based access.
+    fn as_any(&self) -> &(dyn Any + Send);
+    /// Mutable upcast for downcast-based access.
+    fn as_any_mut(&mut self) -> &mut (dyn Any + Send);
+}
+
+impl<T: Any + Send + Clone> UserState for T {
+    fn clone_user(&self) -> Box<dyn UserState> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &(dyn Any + Send) {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut (dyn Any + Send) {
+        self
+    }
+}
+
 /// Per-core execution state: registers plus opaque per-thread user state.
 pub struct Env {
     /// General-purpose registers. Committed on block completion; restored
     /// on abort/restart.
     pub regs: Vec<u64>,
-    user: Box<dyn Any + Send>,
+    user: Box<dyn UserState>,
+}
+
+impl Clone for Env {
+    fn clone(&self) -> Self {
+        Env {
+            regs: self.regs.clone(),
+            user: self.user.clone_user(),
+        }
+    }
 }
 
 impl Env {
     /// Creates an environment with `nregs` zeroed registers and the given
     /// user state.
-    pub fn new(nregs: usize, user: impl Any + Send) -> Self {
+    pub fn new(nregs: usize, user: impl UserState) -> Self {
         Env {
             regs: vec![0; nregs],
             user: Box::new(user),
@@ -69,6 +107,7 @@ impl Env {
     /// Panics if `T` is not the stored type.
     pub fn user<T: Any>(&self) -> &T {
         self.user
+            .as_any()
             .downcast_ref::<T>()
             .expect("user state type mismatch")
     }
@@ -81,6 +120,7 @@ impl Env {
     /// Panics if `T` is not the stored type.
     pub fn user_mut<T: Any>(&mut self) -> &mut T {
         self.user
+            .as_any_mut()
             .downcast_mut::<T>()
             .expect("user state type mismatch")
     }
@@ -88,16 +128,16 @@ impl Env {
     /// Splits the environment into registers and user state for contexts
     /// that need both mutably (Ctl blocks).
     pub fn split_mut(&mut self) -> (&mut [u64], &mut (dyn Any + Send)) {
-        (&mut self.regs, &mut *self.user)
+        (&mut self.regs, self.user.as_any_mut())
     }
 
     pub(crate) fn user_any_mut(&mut self) -> &mut (dyn Any + Send) {
-        &mut *self.user
+        self.user.as_any_mut()
     }
 
     #[allow(dead_code)]
     pub(crate) fn user_any(&self) -> &(dyn Any + Send) {
-        &*self.user
+        self.user.as_any()
     }
 }
 
@@ -156,7 +196,7 @@ impl StepOutcome {
 /// Executes one block by replay: each [`BlockRunner::step`] re-runs the
 /// closure, replaying logged results and performing exactly one new memory
 /// operation (see the crate docs for the model and its rules).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BlockRunner {
     pub(crate) log: Vec<LogEntry>,
     work_charged: u64,

@@ -42,7 +42,7 @@ impl Cfg {
 }
 
 /// Per-thread tallies for the oracle.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Tally {
     inserted: u64,
     duplicates: u64,

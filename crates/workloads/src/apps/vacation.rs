@@ -52,7 +52,7 @@ impl Cfg {
 
 /// Per-thread reservation book: held reservations per relation, and item
 /// ids for cancellations.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Book {
     held: Vec<Vec<u64>>, // per relation: item ids reserved
     failed: u64,

@@ -107,7 +107,7 @@ impl Cfg {
 }
 
 /// Per-thread tallies for the conservation oracle.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Tally {
     /// Net committed balance change per account (credits - debits).
     net: Vec<i64>,

@@ -58,7 +58,7 @@ impl Cfg {
 }
 
 /// Per-thread tallies for the conservation oracle.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Tally {
     enq_count: u64,
     enq_sum: u64,

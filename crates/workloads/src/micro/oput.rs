@@ -26,7 +26,7 @@ impl Cfg {
 }
 
 /// Per-thread record of the minimum pair this thread attempted.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Tally {
     min_key: u64,
     min_val: u64,

@@ -65,6 +65,7 @@ impl Cfg {
 /// Per-thread state: references currently held per object, plus a count of
 /// decrements that observed a globally-zero counter (conservation makes
 /// these impossible; the oracle asserts none happened).
+#[derive(Clone)]
 struct Held {
     refs: Vec<u64>,
     failed_decrements: u64,

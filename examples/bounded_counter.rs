@@ -11,7 +11,7 @@
 
 use commtm::prelude::*;
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Tally {
     decrements: u64,
     failures: u64,
