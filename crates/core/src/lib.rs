@@ -65,7 +65,10 @@ pub use error::Error;
 pub use commtm_htm::{CoreStats, HtmConfig, Scheme};
 pub use commtm_mem::{Addr, CoreId, Heap, LabelId, LineAddr, LineData, WORDS_PER_LINE};
 pub use commtm_noc::Mesh;
-pub use commtm_protocol::{AbortKind, LabelDef, LabelTable, ProtoConfig, ReduceOps, WasteBucket};
+pub use commtm_protocol::{
+    AbortKind, AccessOp, LabelDef, LabelTable, ProtoConfig, ReduceOps, Trace, TraceEvent,
+    TraceEventKind, WasteBucket,
+};
 pub use commtm_sim::{
     CycleBreakdown, Engine, EpochEngine, Machine, MachineConfig, RunReport, SerialEngine, SimError,
     Tuning,

@@ -4,19 +4,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 use commtm_mem::CoreId;
-use commtm_protocol::{AbortKind, MemOp, MemSystem, ProtoEvent, TxTable};
+use commtm_protocol::{AbortKind, AccessOp, MemOp, MemSystem, ProtoEvent, TxTable};
 use commtm_tx::{
     Block, BlockRunner, Ctl, CtlCtx, Env, MemPort, OpResult, Program, StepOutcome, TxOp, UserState,
 };
 
 use crate::stats::CoreStats;
-
-/// Whether `COMMTM_TRACE` is set (cached): emits a per-operation trace on
-/// stderr, used for debugging protocol/engine interactions.
-fn trace_enabled() -> bool {
-    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var("COMMTM_TRACE").is_ok())
-}
 
 /// Which conflict-detection scheme the machine runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -301,8 +294,12 @@ impl CoreExec {
         if self.done {
             return StepResult::Finished;
         }
+        // Stamp the step's scheduling key: every trace event this step
+        // emits carries (clock-at-entry, core), the engine-independent
+        // commit-order key.
+        sys.tracer_mut().step(self.core, self.clock);
         if let Some(cause) = self.pending_abort.take() {
-            self.handle_abort(cause, cfg);
+            self.handle_abort(cause, cfg, sys);
             return StepResult::Ran;
         }
 
@@ -389,6 +386,7 @@ impl CoreExec {
                     }
                 };
                 txs.begin(self.core, ts);
+                sys.tracer_mut().begin(ts);
                 self.in_tx = true;
                 // tx_begin/tx_end overhead, charged once per attempt.
                 self.clock += cfg.tx_overhead;
@@ -424,9 +422,10 @@ impl CoreExec {
             StepOutcome::Yield { .. } => {}
             StepOutcome::Done { .. } => {
                 if is_tx {
-                    if trace_enabled() {
+                    if sys.tracer().is_debug() {
                         eprintln!("[{:?}] COMMIT clock={}", self.core, self.clock);
                     }
+                    sys.tracer_mut().commit();
                     sys.commit_core(self.core);
                     txs.end(self.core);
                     self.in_tx = false;
@@ -442,20 +441,23 @@ impl CoreExec {
             StepOutcome::Abort { .. } => {
                 assert!(is_tx, "a non-transactional block cannot abort");
                 let cause = abort_cause.unwrap_or(AbortKind::Eviction);
-                self.handle_abort(cause, cfg);
+                self.handle_abort(cause, cfg, sys);
             }
         }
     }
 
     /// Backoff-and-restart after an abort (the protocol already rolled the
     /// transaction back).
-    fn handle_abort(&mut self, cause: AbortKind, cfg: &HtmConfig) {
-        if trace_enabled() {
+    fn handle_abort(&mut self, cause: AbortKind, cfg: &HtmConfig, sys: &mut MemSystem) {
+        if sys.tracer().is_debug() {
             eprintln!(
                 "[{:?}] ABORT cause={:?} clock={}",
                 self.core, cause, self.clock
             );
         }
+        // Emits the abort event and consumes the protocol's pending
+        // attribution note (conflicting core + line) for this victim.
+        sys.tracer_mut().abort(self.core, cause);
         self.runner.reset();
         self.env.regs.copy_from_slice(&self.block_start_regs);
         self.in_tx = false;
@@ -571,7 +573,25 @@ impl MemPort for EnginePort<'_> {
                 )
             }
         };
-        if trace_enabled() {
+        if self.sys.tracer().is_enabled() {
+            // Record the *issued* operation (pre-demotion), so traces under
+            // the baseline scheme still show which accesses were labeled.
+            let (trace_op, labeled) = match op {
+                TxOp::Load(_) => (AccessOp::Load, false),
+                TxOp::Store(..) => (AccessOp::Store, false),
+                TxOp::LoadL(..) => (AccessOp::LoadL, true),
+                TxOp::StoreL(..) => (AccessOp::StoreL, true),
+                TxOp::Gather(..) => (AccessOp::Gather, true),
+            };
+            self.sys.tracer_mut().access(
+                addr.raw(),
+                addr.line(),
+                trace_op,
+                labeled,
+                labeled && self.demote,
+            );
+        }
+        if self.sys.tracer().is_debug() {
             eprintln!(
                 "    [pre ] [{:?}] {:?} @{:x} st={:?}",
                 self.core,
@@ -586,7 +606,7 @@ impl MemPort for EnginePort<'_> {
         let acc = self
             .sys
             .access_into(self.core, mem_op, addr, self.txs, self.events);
-        if trace_enabled() {
+        if self.sys.tracer().is_debug() {
             eprintln!(
                 "[{:?}] op={:?} @{:x} -> v={} abort={:?} ev={:?} ts={:?} st={:?}",
                 self.core,

@@ -13,10 +13,10 @@ use std::process::ExitCode;
 
 use commtm_lab::bench::BenchReport;
 use commtm_lab::exec::{run_scenario, ExecOptions};
-use commtm_lab::json::Json;
+use commtm_lab::json::{self, Json};
 use commtm_lab::results::{diff, ResultSet};
 use commtm_lab::spec::{default_seeds, parse_scheme, scheme_name, Scenario};
-use commtm_lab::{bench, figures, registry, report, scenarios, toml};
+use commtm_lab::{bench, figures, registry, report, scenarios, toml, trace};
 
 const USAGE: &str = "\
 commtm-lab — declarative, parallel experiment sweeps for the CommTM simulator
@@ -29,6 +29,9 @@ USAGE:
     commtm-lab run --all [--out-dir DIR] [options]
     commtm-lab bench [--quick] [--out BENCH.json] [--check BASE.json]
     commtm-lab diff <baseline.json> <current.json> [--tol FRAC]
+    commtm-lab trace-validate <trace.json>
+                                            check a --trace artifact against
+                                            the committed docs/trace.schema.json
 
 RUN OPTIONS:
     --all               run every built-in figure scenario and write one
@@ -50,6 +53,13 @@ RUN OPTIONS:
                         (selects the epoch-parallel engine for N > 1;
                         results are byte-identical, only wall time moves;
                         the cell-job budget is divided by N)
+    --trace             capture per-transaction traces (attributed abort
+                        causes, conflict hot lines, speculation audit):
+                        writes <name>.trace.json and <name>.aborts.svg,
+                        and adds per-cell trace summaries to --out JSON.
+                        Observation-only: deterministic results are
+                        byte-identical with tracing on or off
+    --trace-out FILE    trace artifact path (default: <name>.trace.json)
     --out FILE.json     write full results as JSON
     --csv FILE.csv      write per-cell rows as CSV
     --svg FILE.svg      render the scenario's figure (SVG/HTML) to a file
@@ -100,6 +110,13 @@ fn main() -> ExitCode {
             }
         },
         Some("diff") => match cmd_diff(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("trace-validate") => match cmd_trace_validate(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -171,12 +188,16 @@ struct Overrides {
     seeds: Option<usize>,
     scale: Option<u64>,
     machine_threads: Option<usize>,
+    trace: bool,
 }
 
 impl Overrides {
     fn apply(&self, scenario: &mut Scenario) {
         if let Some(mt) = self.machine_threads {
             scenario.tuning.machine_threads = Some(mt.max(1));
+        }
+        if self.trace {
+            scenario.tuning.trace = Some(true);
         }
         if let Some(t) = &self.threads {
             scenario.threads = t.clone();
@@ -210,6 +231,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut out_json: Option<String> = None;
     let mut out_csv: Option<String> = None;
     let mut out_svg: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tol = 0.0f64;
     let mut quiet_report = false;
@@ -260,6 +282,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 opts.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
             }
             "--serial" => opts.jobs = 1,
+            "--trace" => ov.trace = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
             "--out" => out_json = Some(value("--out")?.clone()),
             "--csv" => out_csv = Some(value("--csv")?.clone()),
             "--svg" => out_svg = Some(value("--svg")?.clone()),
@@ -293,12 +317,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         if out_json.is_some()
             || out_csv.is_some()
             || out_svg.is_some()
+            || trace_out.is_some()
             || baseline.is_some()
             || tol != 0.0
         {
             return Err(
-                "--out/--csv/--svg/--baseline/--tol are single-scenario options; \
-                 --all writes per-scenario files under --out-dir"
+                "--out/--csv/--svg/--trace-out/--baseline/--tol are single-scenario \
+                 options; --all writes per-scenario files under --out-dir"
                     .into(),
             );
         }
@@ -319,6 +344,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     ov.apply(&mut scenario);
     for kv in &params {
         registry::apply_param_override(registry::global(), &mut scenario, kv)?;
+    }
+    if trace_out.is_some() && scenario.tuning.trace != Some(true) {
+        return Err("--trace-out requires --trace (or tuning.trace = true in the scenario)".into());
     }
 
     let set = run_scenario(&scenario, &opts)?;
@@ -347,6 +375,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, figures::render_figure_themed(&scenario, &set, theme))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    if scenario.tuning.trace == Some(true) {
+        let path = trace_out.unwrap_or_else(|| format!("{}.trace.json", scenario.name));
+        std::fs::write(&path, trace::trace_file_json(&set).compact())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        if let Some(svg) = figures::abort_causes_figure(&scenario, &set, theme) {
+            let fig = format!("{}.aborts.svg", scenario.name);
+            std::fs::write(&fig, &svg).map_err(|e| format!("writing {fig}: {e}"))?;
+            eprintln!("wrote {fig}");
+        }
     }
 
     let mut code = if set.all_ok() {
@@ -407,7 +446,7 @@ fn cmd_run_all(
                 set.cells.iter().filter(|c| c.stats.is_none()).count()
             );
         }
-        entries.push(Json::obj(vec![
+        let mut entry = vec![
             ("name", Json::Str(scenario.name.clone())),
             ("title", Json::Str(scenario.title.clone())),
             ("report", Json::Str(scenario.report.name().to_string())),
@@ -423,7 +462,49 @@ fn cmd_run_all(
             // regressions visible without affecting deterministic results.
             ("engine", Json::Str(set.engine.clone())),
             ("wall_ms", Json::U64(set.wall_ms)),
-        ]));
+        ];
+        if scenario.tuning.trace == Some(true) {
+            let trace_file = format!("{name}.trace.json");
+            write_artifact(dir, &trace_file, &trace::trace_file_json(&set).compact())?;
+            entry.push(("trace", Json::Str(trace_file)));
+            if let Some(svg) = figures::abort_causes_figure(&scenario, &set, theme) {
+                let aborts = format!("{name}.aborts.svg");
+                write_artifact(dir, &aborts, &svg)?;
+                entry.push(("aborts_figure", Json::Str(aborts)));
+            }
+            // Per-cell conflict attribution: the top hot lines by conflict
+            // count, so the manifest answers "what was contended" without
+            // opening the full trace artifact.
+            let attribution: Vec<Json> = set
+                .cells
+                .iter()
+                .filter_map(|c| {
+                    let trace = c.trace.as_ref()?;
+                    let summary = trace::summarize_trace(trace);
+                    let hot: Vec<Json> = summary
+                        .hot_lines
+                        .iter()
+                        .take(3)
+                        .map(|(line, n)| {
+                            Json::obj(vec![
+                                ("line", Json::U64(*line)),
+                                ("conflicts", Json::U64(*n)),
+                            ])
+                        })
+                        .collect();
+                    Some(Json::obj(vec![
+                        ("label", Json::Str(c.cell.label.clone())),
+                        ("threads", Json::U64(c.cell.threads as u64)),
+                        ("scheme", Json::Str(scheme_name(c.cell.scheme).to_string())),
+                        ("seed", Json::U64(c.cell.seed)),
+                        ("aborts", Json::U64(summary.aborts)),
+                        ("hot_lines", Json::Arr(hot)),
+                    ]))
+                })
+                .collect();
+            entry.push(("attribution", Json::Arr(attribution)));
+        }
+        entries.push(Json::obj(entry));
     }
     // Scale and seeds are per-figure fields: built-ins may declare their
     // own grids, so run-wide values would misdescribe the report.
@@ -583,12 +664,48 @@ fn load_scenario(target: &str) -> Result<Scenario, String> {
         let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
         return toml::scenario_from_toml(&text);
     }
-    scenarios::builtin(target).ok_or_else(|| {
-        format!(
-            "unknown scenario {target:?}; built-ins: {} (or pass a .toml file)",
-            scenarios::builtin_names().join(", ")
-        )
-    })
+    if let Some(s) = scenarios::builtin(target) {
+        return Ok(s);
+    }
+    // A bare registry workload name runs as an ad-hoc sweep with a small
+    // thread grid — `commtm-lab run bank --trace` without writing a TOML.
+    if registry::global().resolve(target).is_some() {
+        return Ok(Scenario::new(target, target)
+            .workload(commtm_lab::spec::WorkloadSpec::named(target))
+            .threads(&[1, 8, 32]));
+    }
+    Err(format!(
+        "unknown scenario {target:?}; built-ins: {} (or a registry workload \
+         name, or pass a .toml file)",
+        scenarios::builtin_names().join(", ")
+    ))
+}
+
+/// `trace-validate`: check a `--trace` artifact against the committed
+/// schema (docs/trace.schema.json, embedded at build time so the check
+/// works from any directory).
+fn cmd_trace_validate(args: &[String]) -> Result<ExitCode, String> {
+    let path = match args {
+        [p] if !p.starts_with('-') => p,
+        _ => return Err("usage: commtm-lab trace-validate <trace.json>".into()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = json::parse(trace::TRACE_SCHEMA).expect("embedded schema parses");
+    match trace::validate_schema(&schema, &value) {
+        Ok(()) => {
+            let cells = value
+                .get("cells")
+                .and_then(Json::as_arr)
+                .map_or(0, |a| a.len());
+            println!("{path}: ok ({cells} traced cell(s), schema commtm-trace-v1)");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("{path}: schema violation: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn parse_usize_list(text: &str) -> Result<Vec<usize>, String> {

@@ -236,21 +236,28 @@ fn install_quiet_cell_hook() {
 
 fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario) -> CellResult {
     let started = Instant::now();
+    let traced = scenario.tuning.trace == Some(true);
     IN_CELL.with(|f| f.set(true));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        reg.run_cell(cell, scenario.scale, scenario.tuning)
+        if traced {
+            reg.run_cell_traced(cell, scenario.scale, scenario.tuning)
+        } else {
+            reg.run_cell(cell, scenario.scale, scenario.tuning)
+                .map(|report| (report, None))
+        }
     }));
     IN_CELL.with(|f| f.set(false));
-    let (stats, error) = match outcome {
-        Ok(Ok(report)) => (Some(CellStats::from_report(&report)), None),
-        Ok(Err(e)) => (None, Some(e)),
-        Err(panic) => (None, Some(panic_message(panic.as_ref()))),
+    let (stats, error, trace) = match outcome {
+        Ok(Ok((report, trace))) => (Some(CellStats::from_report(&report)), None, trace),
+        Ok(Err(e)) => (None, Some(e), None),
+        Err(panic) => (None, Some(panic_message(panic.as_ref())), None),
     };
     CellResult {
         cell: cell.clone(),
         stats,
         error,
         wall_ms: started.elapsed().as_millis() as u64,
+        trace,
     }
 }
 

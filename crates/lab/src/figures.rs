@@ -319,6 +319,82 @@ fn table2_html(scenario: &Scenario, set: &ResultSet, theme: palette::Theme) -> S
     )
 }
 
+/// Renders the abort-cause breakdown for a traced sweep: one group per
+/// workload label, one stacked bar per (scheme, threads) point, one
+/// segment per abort cause observed anywhere in the sweep (causes use the
+/// stable `AbortKind::name` spellings). Counts are summed over seed
+/// replicas — this is an attribution census, not a normalized comparison.
+/// Returns `None` when no cell carries a trace (the sweep ran with
+/// tracing off).
+pub fn abort_causes_figure(
+    scenario: &Scenario,
+    set: &ResultSet,
+    theme: palette::Theme,
+) -> Option<String> {
+    let summaries: Vec<(usize, crate::trace::TraceSummary)> = set
+        .cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            c.trace
+                .as_ref()
+                .map(|t| (i, crate::trace::summarize_trace(t)))
+        })
+        .collect();
+    if summaries.is_empty() {
+        return None;
+    }
+    // The segment list is the union of observed causes, in first-seen
+    // order over the deterministic cell order.
+    let mut causes: Vec<String> = Vec::new();
+    for (_, s) in &summaries {
+        for k in s.abort_causes.keys() {
+            if !causes.contains(k) {
+                causes.push(k.clone());
+            }
+        }
+    }
+    if causes.is_empty() {
+        // A run with zero aborts still renders (empty bars beat a missing
+        // artifact in a pipeline that expects one).
+        causes.push("none".to_string());
+    }
+    let segments: Vec<&str> = causes.iter().map(String::as_str).collect();
+    let mut chart = BarChart::new(&format!("{}: abort causes", set.scenario), &segments)
+        .theme(theme)
+        .subtitle(&subtitle(scenario, set))
+        .y_label("aborts by attributed cause (sum over seeds)");
+    for label in set.labels() {
+        let mut group = BarGroup::new(label);
+        for &t in &set.thread_counts() {
+            for &scheme in &set.schemes() {
+                let mut values = vec![0.0; causes.len()];
+                let mut any = false;
+                for (i, s) in &summaries {
+                    let c = &set.cells[*i].cell;
+                    if c.label == label && c.threads == t && c.scheme == scheme {
+                        any = true;
+                        for (ci, name) in causes.iter().enumerate() {
+                            values[ci] += s.abort_causes.get(name).copied().unwrap_or(0) as f64;
+                        }
+                    }
+                }
+                if any {
+                    group = group.bar(Bar::new(
+                        &format!("{}@{t}", scheme_name(scheme)),
+                        values,
+                        0.0,
+                    ));
+                }
+            }
+        }
+        if !group.bars.is_empty() {
+            chart = chart.group(group);
+        }
+    }
+    Some(chart.render())
+}
+
 /// Renders the `run --all` report index: one HTML page linking every
 /// figure and results file listed in the manifest (the `manifest.json`
 /// document `commtm-lab run --all` writes). SVG figures embed inline via
@@ -346,11 +422,24 @@ pub fn render_index(manifest: &crate::json::Json) -> String {
         } else {
             format!("<p><a href=\"{0}\">open {0}</a></p>", esc(figure))
         };
+        // Trace artifacts only exist for traced runs (`--all --trace`).
+        let mut trace_links = String::new();
+        if let Some(aborts) = entry.get("aborts_figure").and_then(Json::as_str) {
+            let _ = write!(
+                trace_links,
+                " · <a href=\"{0}\">abort causes</a>",
+                esc(aborts)
+            );
+        }
+        if let Some(trace) = entry.get("trace").and_then(Json::as_str) {
+            let _ = write!(trace_links, " · <a href=\"{0}\">trace</a>", esc(trace));
+        }
         let _ = writeln!(
             sections,
             "<section{warn}>\n<h2>{name}: {title}</h2>\n{media}\n\
              <p class=\"sub\">{report} report · {cells} cells · scale {scale} · \
-             {seeds} seed(s){flag} · <a href=\"{results}\">results JSON</a></p>\n</section>",
+             {seeds} seed(s){flag} · <a href=\"{results}\">results JSON</a>\
+             {trace_links}</p>\n</section>",
             warn = if ok { "" } else { " class=\"failed\"" },
             name = esc(s("name")),
             title = esc(s("title")),

@@ -94,6 +94,45 @@ impl Json {
         out
     }
 
+    /// Serializes without any whitespace, plus a trailing newline. Used for
+    /// bulk artifacts (trace event streams) where pretty-printing would
+    /// multiply the file size.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both modes.
+            _ => self.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -434,6 +473,21 @@ mod tests {
         let text = v.pretty();
         let back = parse(&text).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn compact_roundtrips_and_has_no_padding() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("bank".into())),
+            ("cells", Json::Arr(vec![Json::U64(1), Json::Null])),
+            ("empty", Json::obj(vec![])),
+        ]);
+        let text = v.compact();
+        assert_eq!(parse(&text).unwrap(), v);
+        assert_eq!(
+            text,
+            "{\"name\":\"bank\",\"cells\":[1,null],\"empty\":{}}\n"
+        );
     }
 
     #[test]

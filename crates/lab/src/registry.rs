@@ -17,7 +17,7 @@
 
 use std::sync::OnceLock;
 
-use commtm::RunReport;
+use commtm::{RunReport, Trace};
 use commtm_workloads::{BaseCfg, ParamValue, Params, Workload};
 
 use crate::json::Json;
@@ -109,6 +109,28 @@ impl Registry {
             .with_seed(cell.seed)
             .with_tuning(tuning);
         Ok(def.run_checked(base, &params))
+    }
+
+    /// Like [`Registry::run_cell`], but also returns the machine's event
+    /// trace when the tuning enabled tracing (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Registry::run_cell`].
+    pub fn run_cell_traced(
+        &self,
+        cell: &Cell,
+        scale: u64,
+        tuning: commtm::Tuning,
+    ) -> Result<(RunReport, Option<Trace>), String> {
+        let def = self
+            .resolve(&cell.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", cell.workload))?;
+        let params = self.resolved_params(cell, scale)?;
+        let base = BaseCfg::new(cell.threads, cell.scheme)
+            .with_seed(cell.seed)
+            .with_tuning(tuning);
+        Ok(def.run_traced(base, &params))
     }
 
     /// The machine-readable schema dump behind `commtm-lab workloads

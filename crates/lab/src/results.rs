@@ -221,6 +221,11 @@ pub struct CellResult {
     /// Host wall-clock milliseconds spent on this cell (non-deterministic;
     /// excluded from canonical output).
     pub wall_ms: u64,
+    /// The run's event trace, when the sweep ran with tracing on. Like
+    /// `wall_ms`, the derived summary is emitted only in the timing-tier
+    /// JSON — canonical output (and so every determinism golden) is
+    /// byte-identical with tracing on or off.
+    pub trace: Option<commtm::Trace>,
 }
 
 impl CellResult {
@@ -421,6 +426,10 @@ impl ResultSet {
                 }
                 if timing {
                     pairs.push(("wall_ms".to_string(), Json::U64(c.wall_ms)));
+                    if let Some(trace) = &c.trace {
+                        let summary = crate::trace::summarize_trace(trace);
+                        pairs.push(("trace".to_string(), crate::trace::summary_to_json(&summary)));
+                    }
                 }
                 Json::Obj(pairs)
             })
@@ -519,6 +528,9 @@ impl ResultSet {
                 stats,
                 error: c.get("error").and_then(Json::as_str).map(str::to_string),
                 wall_ms: c.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
+                // Result files carry only the trace *summary*; the raw
+                // event stream lives in the side-car trace file.
+                trace: None,
             });
         }
         Ok(ResultSet {
@@ -768,6 +780,7 @@ mod tests {
                 stats: Some(stats),
                 error: None,
                 wall_ms: 99,
+                trace: None,
             }],
             wall_ms: 100,
             jobs: 4,

@@ -318,6 +318,18 @@ fn tuning_from_json(v: &Json) -> Result<Tuning, String> {
     };
     let mut t = Tuning::default();
     for (key, value) in pairs {
+        // `trace` is the one boolean tuning knob (TOML `true`/`false`;
+        // 0/1 accepted for symmetry with the other integer fields).
+        if key == "trace" {
+            t.trace = Some(match value {
+                Json::Bool(b) => *b,
+                other => match other.as_u64() {
+                    Some(n) => n != 0,
+                    None => return Err("tuning.trace must be a boolean".to_string()),
+                },
+            });
+            continue;
+        }
         let int = value
             .as_u64()
             .ok_or_else(|| format!("tuning.{key} must be an integer"))?;

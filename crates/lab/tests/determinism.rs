@@ -111,6 +111,30 @@ fn parallel_executor_is_byte_deterministic() {
     assert_eq!(again.canonical_json().pretty(), reference);
 }
 
+/// Tracing is observation-only: enabling it must not perturb a single
+/// simulated statistic. Canonical results are byte-identical with
+/// tracing on or off, and the traced run actually carries per-cell
+/// traces while the plain run carries none.
+#[test]
+fn tracing_is_observation_only() {
+    let scn = sweep();
+    let opts = ExecOptions {
+        jobs: 4,
+        quiet: true,
+    };
+    let plain = run_scenario(&scn, &opts).expect("untraced run");
+    let mut traced_scn = sweep();
+    traced_scn.tuning.trace = Some(true);
+    let traced = run_scenario(&traced_scn, &opts).expect("traced run");
+    assert_eq!(
+        traced.canonical_json().pretty(),
+        plain.canonical_json().pretty(),
+        "tracing must not change any simulated result"
+    );
+    assert!(traced.cells.iter().all(|c| c.trace.is_some()));
+    assert!(plain.cells.iter().all(|c| c.trace.is_none()));
+}
+
 /// CSV export is deterministic too (it feeds spreadsheet-based analyses).
 #[test]
 fn csv_export_is_deterministic() {

@@ -190,6 +190,62 @@ mod tests {
     }
 
     #[test]
+    fn empty_footprints_are_disjoint_and_merge_to_empty() {
+        let a = Footprint::default();
+        let b = Footprint::default();
+        assert!(
+            a.disjoint_shared(&b),
+            "empty vs empty is trivially disjoint"
+        );
+        let mut m = Footprint::default();
+        m.merge(&a);
+        assert_eq!(m.cores(), 0);
+        assert_eq!(m.rng_draws(), 0);
+        assert_eq!(m.l3_sets().count(), 0);
+        assert_eq!(m.mem_lines().count(), 0);
+        assert!(!m.touched_foreign());
+    }
+
+    #[test]
+    fn self_merge_is_idempotent_on_sets_but_additive_on_rng_draws() {
+        let mut f = Footprint::default();
+        f.reset(0b1);
+        f.core(CoreId::new(0));
+        f.l3(2, 7);
+        f.mem(42);
+        f.rng();
+        f.rng();
+        let snapshot = f.clone();
+        f.merge(&snapshot);
+        // Set-like parts are idempotent under self-merge...
+        assert_eq!(f.cores(), snapshot.cores());
+        assert_eq!(f.l3_sets().count(), 1);
+        assert_eq!(f.mem_lines().count(), 1);
+        // ...but `rng_draws` is a *count*, and deliberately accumulates:
+        // merging a clone's drift twice means the RNG advanced twice.
+        assert_eq!(f.rng_draws(), 2 * snapshot.rng_draws());
+    }
+
+    #[test]
+    fn core_bitmask_covers_cores_beyond_64() {
+        let mut f = Footprint::default();
+        // Own the top half of the 128-core machine.
+        f.reset(!0u128 << 64);
+        f.core(CoreId::new(64));
+        f.core(CoreId::new(127));
+        assert!(
+            !f.touched_foreign(),
+            "high-index owned cores are not foreign"
+        );
+        assert_eq!(f.cores(), (1u128 << 64) | (1u128 << 127));
+        // A low-index touch outside the owned mask is foreign, and the
+        // high bits are unaffected.
+        f.core(CoreId::new(63));
+        assert!(f.touched_foreign());
+        assert_eq!(f.cores() & (1u128 << 63), 1u128 << 63);
+    }
+
+    #[test]
     fn shared_disjointness() {
         let mut a = Footprint::default();
         let mut b = Footprint::default();

@@ -32,6 +32,7 @@ pub mod footprint;
 mod label;
 mod stats;
 mod system;
+pub mod trace;
 mod types;
 
 pub use config::ProtoConfig;
@@ -40,6 +41,7 @@ pub use footprint::Footprint;
 pub use label::{LabelDef, LabelTable, ReduceFn, ReduceOps, SplitFn};
 pub use stats::{CoreProtoStats, ProtoStats};
 pub use system::MemSystem;
+pub use trace::{AccessOp, Trace, TraceEvent, TraceEventKind, Tracer};
 pub use types::{
     AbortKind, Access, AccessOutcome, MemOp, ProtoEvent, ReqClass, TxEntry, TxTable, WasteBucket,
 };

@@ -14,16 +14,20 @@ use super::{Acc, MemSystem};
 impl MemSystem {
     /// Aborts `victim`'s transaction if one is active: rolls back its
     /// speculative cache state, deactivates its [`TxTable`] entry, and
-    /// reports an event.
+    /// reports an event. `line` is the line whose conflict or eviction
+    /// forced the abort — recorded (keep-first, so a two-sided conflict's
+    /// richer attribution wins) for the trace's abort attribution.
     pub(crate) fn abort_tx(
         &mut self,
         victim: CoreId,
         kind: AbortKind,
+        line: LineAddr,
         txs: &mut TxTable,
         acc: &mut Acc,
     ) {
         self.cap.core(victim);
         if txs.entry(victim).active {
+            self.tracer.note_abort(victim, None, line);
             self.rollback_core(victim);
             txs.end(victim);
             acc.events.push(ProtoEvent::Aborted {
@@ -70,12 +74,21 @@ impl MemSystem {
             return Ok(());
         }
         let kind = classify_conflict(class, bits);
+        let attacker_labeled = matches!(class, ReqClass::Labeled | ReqClass::Split);
         match arbitrate(req_ts, vts) {
             Arbitration::VictimAborts => {
-                self.abort_tx(victim, kind, txs, acc);
+                // Trace the arbitrated conflict and attribute the victim's
+                // upcoming abort to the requester before the rollback.
+                self.tracer
+                    .conflict(requester, victim, line, kind, attacker_labeled, false);
+                self.abort_tx(victim, kind, line, txs, acc);
                 Ok(())
             }
             Arbitration::Nack => {
+                // The requester loses: its self-abort is attributed to the
+                // defending victim.
+                self.tracer
+                    .conflict(requester, victim, line, kind, attacker_labeled, true);
                 self.stats.core_mut(victim).nacks_sent += 1;
                 self.stats.core_mut(requester).nacks_received += 1;
                 acc.abort_self(kind);
@@ -87,7 +100,7 @@ impl MemSystem {
     /// Removes a line from a core's private caches (invalidation).
     pub(crate) fn invalidate_private(&mut self, core: CoreId, line: LineAddr) {
         self.cap.core(core);
-        if super::trace_enabled() {
+        if self.tracer.is_debug() {
             eprintln!("    [proto] invalidate {core:?} {line}");
         }
         let p = &mut self.privs[core.index()];
@@ -495,7 +508,7 @@ impl MemSystem {
             // Case 4: same-label sharers — grant U, no data; the requester
             // initializes its copy with the identity value.
             DirState::Reducible(l, mut s) if l == label => {
-                if super::trace_enabled() {
+                if self.tracer.is_debug() {
                     eprintln!(
                         "    [proto] GETU case4 identity fill at {core:?} {line} (sharers {s:?})"
                     );
@@ -628,6 +641,7 @@ impl MemSystem {
                 .peek(line)
                 .is_some_and(|e| e.meta.spec.dirty_data);
             if dirty_spec && txs.entry(core).active {
+                self.tracer.note_abort(core, None, line);
                 self.rollback_core(core);
                 txs.end(core);
                 acc.abort_self(AbortKind::SelfDemote);
@@ -753,6 +767,7 @@ impl MemSystem {
             .peek(line)
             .is_some_and(|e| e.meta.spec.dirty_data);
         if dirty_spec && txs.entry(core).active {
+            self.tracer.note_abort(core, None, line);
             self.rollback_core(core);
             txs.end(core);
             acc.abort_self(AbortKind::SelfDemote);

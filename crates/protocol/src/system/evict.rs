@@ -50,7 +50,7 @@ impl MemSystem {
                 l2e.data = victim.data;
                 l2e.meta.dirty = true;
             }
-            self.abort_tx(core, AbortKind::Eviction, txs, acc);
+            self.abort_tx(core, AbortKind::Eviction, victim.tag, txs, acc);
             return;
         }
         self.l1_evict(core, victim, acc);
@@ -78,7 +78,7 @@ impl MemSystem {
             _ => victim.data,
         };
         if l1e.as_ref().is_some_and(|e| e.meta.spec.any()) {
-            self.abort_tx(core, AbortKind::Eviction, txs, acc);
+            self.abort_tx(core, AbortKind::Eviction, line, txs, acc);
         }
 
         // One L3 probe for the whole disposal (inclusion guarantees
@@ -137,7 +137,7 @@ impl MemSystem {
                         .peek(line)
                         .is_some_and(|e| e.meta.spec.any());
                     if touched {
-                        self.abort_tx(t, AbortKind::UEvictionForward, txs, acc);
+                        self.abort_tx(t, AbortKind::UEvictionForward, line, txs, acc);
                     }
                     let mut merged = self.priv_nonspec(t, line);
                     self.run_reduce(t, label, &mut merged, &nonspec, txs, acc);
@@ -250,7 +250,7 @@ impl MemSystem {
             .peek(line)
             .is_some_and(|e| e.meta.spec.any());
         if touched {
-            self.abort_tx(core, AbortKind::LlcEviction, txs, acc);
+            self.abort_tx(core, AbortKind::LlcEviction, line, txs, acc);
         }
         let v = self.priv_nonspec(core, line);
         self.invalidate_private(core, line);

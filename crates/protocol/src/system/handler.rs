@@ -26,7 +26,7 @@ impl ReduceOps for HandlerOps<'_, '_> {
         let v = self
             .sys
             .do_op(self.core, MemOp::Load, addr, self.txs, self.acc, true);
-        if super::trace_enabled() {
+        if self.sys.tracer.is_debug() {
             eprintln!(
                 "      [hand] {:?} R @{:x} -> {:x}",
                 self.core,
@@ -38,7 +38,7 @@ impl ReduceOps for HandlerOps<'_, '_> {
     }
 
     fn write(&mut self, addr: Addr, value: u64) {
-        if super::trace_enabled() {
+        if self.sys.tracer.is_debug() {
             eprintln!(
                 "      [hand] {:?} W @{:x} <- {:x}",
                 self.core,

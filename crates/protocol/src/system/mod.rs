@@ -16,14 +16,8 @@ use crate::dir::{DirState, L3Meta};
 use crate::footprint::Footprint;
 use crate::label::LabelTable;
 use crate::stats::ProtoStats;
+use crate::trace::Tracer;
 use crate::types::{AbortKind, Access, AccessOutcome, MemOp, ProtoEvent, TxTable};
-
-/// Whether `COMMTM_TRACE` is set (cached): emits protocol-event traces on
-/// stderr for debugging.
-pub(crate) fn trace_enabled() -> bool {
-    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var("COMMTM_TRACE").is_ok())
-}
 
 /// One core's private cache pair.
 #[derive(Clone, Debug)]
@@ -73,6 +67,9 @@ pub struct MemSystem {
     /// Access-footprint capture for the epoch-parallel engine; disabled
     /// (all hooks are no-ops) in ordinary serial runs.
     pub(crate) cap: Footprint,
+    /// Structured per-transaction tracing (see [`crate::trace`]); off by
+    /// default — every hook is a single-branch no-op then.
+    pub(crate) tracer: Tracer,
 }
 
 impl Clone for MemSystem {
@@ -87,6 +84,10 @@ impl Clone for MemSystem {
             rng: self.rng.clone(),
             events_scratch: Vec::new(),
             cap: Footprint::default(),
+            // Worker clones keep the trace configuration but start with an
+            // empty buffer; the epoch engine merges committed worker
+            // streams back explicitly.
+            tracer: self.tracer.config_clone(),
         }
     }
 }
@@ -115,6 +116,11 @@ impl MemSystem {
             .collect();
         let stats = ProtoStats::new(cfg.cores);
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let mut tracer = Tracer::default();
+        // Deprecated fallback: `COMMTM_TRACE` maps onto the structured
+        // trace config's stderr-debug mode (use `Tuning::trace` / `--trace`
+        // for structured capture instead).
+        tracer.set_debug(std::env::var_os("COMMTM_TRACE").is_some());
         MemSystem {
             cfg,
             labels,
@@ -125,7 +131,20 @@ impl MemSystem {
             rng,
             events_scratch: Vec::new(),
             cap: Footprint::default(),
+            tracer,
         }
+    }
+
+    /// The structured tracer (see [`crate::trace`]): the HTM engine emits
+    /// begin/access/abort/commit events through it, the machine driver
+    /// starts/stops capture and takes the finished [`crate::trace::Trace`].
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Read-only view of the structured tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Clears and enables footprint capture. `owned` is a bitmask of the
@@ -341,11 +360,12 @@ impl MemSystem {
     /// cleared. Idempotent.
     pub fn rollback_core(&mut self, core: CoreId) {
         self.cap.core(core);
+        let dbg = self.tracer.is_debug();
         let p = &mut self.privs[core.index()];
         for line in p.spec_lines.drain(..) {
             let l2_data = p.l2.peek(line).map(|e| e.data);
             if let Some(e) = p.l1.get(line) {
-                if trace_enabled() {
+                if dbg {
                     eprintln!(
                         "    [proto] rollback {core:?} {line} l1_w0={:x} dirty_data={} l2_w0={:?}",
                         e.data[0],
@@ -358,7 +378,7 @@ impl MemSystem {
                     e.meta.dirty = false;
                 }
                 e.meta.spec.clear();
-            } else if trace_enabled() {
+            } else if dbg {
                 eprintln!("    [proto] rollback {core:?} {line} (not in L1)");
             }
         }
@@ -748,7 +768,7 @@ impl MemSystem {
         handler: bool,
     ) {
         self.cap.core(core);
-        if trace_enabled() {
+        if self.tracer.is_debug() {
             eprintln!(
                 "    [proto] install {core:?} {line} {:?} w0={:x} w1={:x}",
                 meta.state, data[0], data[1]
@@ -868,7 +888,7 @@ impl MemSystem {
     /// copy is not speculatively dirty, the L1 copy.
     pub(crate) fn set_nonspec_value(&mut self, core: CoreId, line: LineAddr, data: LineData) {
         self.cap.core(core);
-        if trace_enabled() {
+        if self.tracer.is_debug() {
             eprintln!(
                 "    [proto] set_nonspec {core:?} {line} w0={:x} w1={:x}",
                 data[0], data[1]

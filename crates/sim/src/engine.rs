@@ -57,7 +57,7 @@ use std::collections::BinaryHeap;
 
 use commtm_htm::{CoreExec, StepResult, TsSource};
 use commtm_mem::CoreId;
-use commtm_protocol::{MemSystem, ProtoEvent, TxEntry, TxTable};
+use commtm_protocol::{MemSystem, ProtoEvent, TraceEventKind, TxEntry, TxTable};
 
 use crate::machine::{MachineConfig, SimError};
 
@@ -558,6 +558,10 @@ impl Engine for EpochEngine {
                         let owned = owned_mask[w];
                         scope.spawn(move || {
                             sys.capture_reset(owned);
+                            // A kept clone may still hold trace events from
+                            // a conflicted (discarded) attempt; the serial
+                            // replay re-recorded those steps on the base.
+                            sys.tracer_mut().clear_events();
                             let mut txs = base_txs.clone();
                             let mut ts = PlaceholderTs::new(w);
                             // A speculative step may panic on stale
@@ -694,8 +698,8 @@ impl Engine for EpochEngine {
             // order — the serial draw order.
             let mut draws: Vec<&TsDraw> = outs.iter().flat_map(|o| o.draws.iter()).collect();
             draws.sort_by_key(|d| (d.clock, d.core));
+            let mut map = commtm_mem::FxHashMap::<u64, u64>::default();
             if !draws.is_empty() {
-                let mut map = commtm_mem::FxHashMap::<u64, u64>::default();
                 for d in draws {
                     map.insert(d.placeholder, *m.next_ts);
                     *m.next_ts += 1;
@@ -717,6 +721,25 @@ impl Engine for EpochEngine {
                             },
                         );
                     }
+                }
+            }
+
+            // Merge the workers' trace streams into the base tracer,
+            // rewriting placeholder begin-timestamps to the serial draw
+            // order so epoch and serial traces are comparable. The
+            // commit-order `(clock, core)` sort at export restores the
+            // engine-independent stream order.
+            if m.sys.tracer().is_enabled() {
+                for o in &mut outs {
+                    let mut evs = o.sys.tracer_mut().take_events();
+                    for e in &mut evs {
+                        if let TraceEventKind::Begin { ts } = &mut e.kind {
+                            if *ts >= TS_PLACEHOLDER_BASE {
+                                *ts = map[ts];
+                            }
+                        }
+                    }
+                    m.sys.tracer_mut().extend_events(evs);
                 }
             }
 

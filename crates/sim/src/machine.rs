@@ -4,7 +4,7 @@ use std::fmt;
 
 use commtm_htm::{CoreExec, CoreStats, HtmConfig, Scheme};
 use commtm_mem::{Addr, CoreId, Heap};
-use commtm_protocol::{LabelTable, MemOp, MemSystem, ProtoConfig, TxTable};
+use commtm_protocol::{LabelTable, MemOp, MemSystem, ProtoConfig, Trace, TxTable};
 use commtm_tx::Program;
 
 use crate::report::RunReport;
@@ -29,6 +29,10 @@ pub struct MachineConfig {
     /// engine with that many workers. Results are byte-identical either
     /// way; only wall-clock time changes.
     pub machine_threads: usize,
+    /// Structured per-transaction tracing (see [`commtm_protocol::trace`]).
+    /// Observation-only: results are byte-identical with tracing on or
+    /// off. The finished [`Trace`] is taken with [`Machine::take_trace`].
+    pub trace: bool,
 }
 
 impl MachineConfig {
@@ -42,6 +46,7 @@ impl MachineConfig {
             seed: 0x5EED,
             max_cycles: u64::MAX,
             machine_threads: 1,
+            trace: false,
         }
     }
 
@@ -91,6 +96,9 @@ impl MachineConfig {
         if let Some(v) = t.machine_threads {
             self.machine_threads = v.max(1);
         }
+        if let Some(v) = t.trace {
+            self.trace = v;
+        }
     }
 }
 
@@ -124,6 +132,9 @@ pub struct Tuning {
     /// Host threads stepping each machine (engine selection; results are
     /// engine-independent).
     pub machine_threads: Option<usize>,
+    /// Structured per-transaction tracing (observation-only; see
+    /// [`MachineConfig::trace`]).
+    pub trace: Option<bool>,
 }
 
 /// Simulation failure.
@@ -261,6 +272,20 @@ impl Machine {
             }
         }
 
+        if self.cfg.trace {
+            let scheme = match self.cfg.htm.scheme {
+                Scheme::Baseline => "baseline",
+                Scheme::CommTm => "commtm",
+            };
+            self.sys.tracer_mut().start(
+                engine.name(),
+                self.cfg.machine_threads,
+                self.cfg.threads,
+                scheme,
+                self.cfg.seed,
+            );
+        }
+
         // Split borrows once: stepping a core needs `&mut` to the core,
         // the memory system, and the transaction table at the same time.
         let Machine {
@@ -278,7 +303,11 @@ impl Machine {
             cores,
             next_ts,
         };
-        engine.run(&mut ctx)?;
+        let run = engine.run(&mut ctx);
+        // Stop capture before the oracle phase either way: post-run
+        // coherent reads (Machine::read_word) must not pollute the stream.
+        self.sys.tracer_mut().stop();
+        run?;
 
         debug_assert!(
             self.sys.check_invariants().is_ok(),
@@ -297,6 +326,14 @@ impl Machine {
             .collect();
         let total_cycles = per_core.iter().map(|s| s.finish_cycle).max().unwrap_or(0);
         RunReport::new(total_cycles, per_core, self.sys.stats().clone())
+    }
+
+    /// Takes the structured trace captured by the last traced run (see
+    /// [`MachineConfig::trace`] / [`Tuning::trace`]): the commit-ordered
+    /// event stream with per-abort attribution. Returns `None` when
+    /// tracing was off. Draining — a second call returns `None`.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.sys.tracer_mut().take()
     }
 
     /// Coherently reads a word after a run (triggers reductions as

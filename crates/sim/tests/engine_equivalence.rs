@@ -64,8 +64,14 @@ struct ThreadPlan {
 /// plan. Mirrors the counter (Fig. 9) and list-style mixed traffic the
 /// satellite asks for, at property-test scale.
 fn build(scheme: Scheme, plans: &[ThreadPlan], seed: u64) -> (Machine, Vec<Addr>) {
+    let cfg = MachineConfig::new(plans.len(), scheme).with_seed(seed);
+    build_with(cfg, plans)
+}
+
+/// [`build`] with an explicit config (for tracing / machine-thread
+/// variants).
+fn build_with(cfg: MachineConfig, plans: &[ThreadPlan]) -> (Machine, Vec<Addr>) {
     let threads = plans.len();
-    let cfg = MachineConfig::new(threads, scheme).with_seed(seed);
     let mut m = Machine::new(cfg, add_table());
     let counter = m.heap_mut().alloc_lines(1);
     let contended = m.heap_mut().alloc_lines(1);
@@ -201,6 +207,58 @@ fn disjoint_commtm_matches() {
     assert_eq!(a.aborts(), 0, "labeled + private traffic never conflicts");
     assert_eq!(a, b);
     assert_eq!(av, bv);
+}
+
+/// Traces are engine-independent too: with tracing enabled, the
+/// commit-ordered event streams from serial and epoch runs must be
+/// identical under both schemes. Headers agree except for the engine
+/// identity fields (`engine`, `machine_threads`), which record which
+/// engine actually produced the stream.
+#[test]
+fn traces_are_engine_equivalent() {
+    let plans = vec![
+        ThreadPlan {
+            labeled: 1,
+            contended: 1,
+            private: 1,
+            iters: 12
+        };
+        6
+    ];
+    for scheme in [Scheme::CommTm, Scheme::Baseline] {
+        let traced = |engine: &dyn commtm_sim::Engine, machine_threads: usize| {
+            let mut cfg = MachineConfig::new(plans.len(), scheme)
+                .with_seed(11)
+                .with_machine_threads(machine_threads);
+            cfg.trace = true;
+            let (mut m, _) = build_with(cfg, &plans);
+            m.run_with(engine).expect("simulation succeeds");
+            m.take_trace().expect("tracing was enabled")
+        };
+        let serial = traced(&SerialEngine, 1);
+        let epoch = traced(&EpochEngine::new(3), 3);
+
+        assert!(!serial.events.is_empty(), "traced run produced no events");
+        assert!(
+            serial
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, commtm_protocol::TraceEventKind::Abort { .. })),
+            "contended plan should record aborts under {scheme:?}"
+        );
+        assert_eq!(
+            serial.events, epoch.events,
+            "trace streams diverged under {scheme:?}"
+        );
+        assert_eq!(serial.dropped, epoch.dropped);
+
+        assert_eq!(serial.engine, "serial");
+        assert_eq!(epoch.engine, "epoch");
+        assert_eq!((serial.machine_threads, epoch.machine_threads), (1, 3));
+        assert_eq!(serial.threads, epoch.threads);
+        assert_eq!(serial.scheme, epoch.scheme);
+        assert_eq!(serial.seed, epoch.seed);
+    }
 }
 
 /// Cycle-limit errors must surface identically (same core, same clock)

@@ -17,7 +17,7 @@
 
 use std::any::Any;
 
-use commtm::{Machine, RunReport};
+use commtm::{Machine, RunReport, Trace};
 
 use crate::BaseCfg;
 use crate::{ParamSchema, Params};
@@ -100,6 +100,19 @@ pub trait Workload: Send + Sync {
         let mut out = self.run(base, params);
         self.oracle(&base, params, &mut out);
         out.report
+    }
+
+    /// Like [`Workload::run_checked`], but also hands back the machine's
+    /// event trace (populated only when the run's tuning enabled tracing;
+    /// `None` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation failure or an oracle violation.
+    fn run_traced(&self, base: BaseCfg, params: &Params) -> (RunReport, Option<Trace>) {
+        let mut out = self.run(base, params);
+        self.oracle(&base, params, &mut out);
+        (out.report, out.machine.take_trace())
     }
 }
 
