@@ -139,19 +139,10 @@ pub fn list() -> LabelDef {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    struct MapOps(std::collections::HashMap<u64, u64>);
-    impl ReduceOps for MapOps {
-        fn read(&mut self, a: Addr) -> u64 {
-            *self.0.get(&a.raw()).unwrap_or(&0)
-        }
-        fn write(&mut self, a: Addr, v: u64) {
-            self.0.insert(a.raw(), v);
-        }
-    }
+    use commtm_protocol::testing::{apply_reduce, MapHeap};
 
     fn apply(def: &LabelDef, dst: &mut LineData, src: &LineData) {
-        (def.reduce())(&mut MapOps(Default::default()), dst, src);
+        apply_reduce(def, &mut MapHeap::new(), dst, src);
     }
 
     #[test]
@@ -169,7 +160,7 @@ mod tests {
         let def = add();
         let mut local = LineData::splat(19);
         let mut out = def.identity();
-        (def.split().unwrap())(&mut MapOps(Default::default()), &mut local, &mut out, 4);
+        (def.split().unwrap())(&mut MapHeap::new(), &mut local, &mut out, 4);
         for i in 0..WORDS_PER_LINE {
             assert_eq!(local[i] + out[i], 19);
             assert_eq!(out[i], 5); // ceil(19/4)
@@ -243,7 +234,7 @@ mod tests {
     #[test]
     fn list_reduce_concatenates() {
         let def = list();
-        let mut ops = MapOps(Default::default());
+        let mut ops = MapHeap::new();
         // List 1: nodes 0x100 -> 0x200; list 2: node 0x300.
         ops.write(Addr::new(0x100), 0x200);
         ops.write(Addr::new(0x200), 0);
@@ -274,7 +265,7 @@ mod tests {
     #[test]
     fn list_split_donates_head() {
         let def = list();
-        let mut ops = MapOps(Default::default());
+        let mut ops = MapHeap::new();
         ops.write(Addr::new(0x100), 0x200);
         ops.write(Addr::new(0x200), 0);
         let mut local = LineData::zeroed();

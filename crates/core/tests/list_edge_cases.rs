@@ -1,0 +1,109 @@
+//! LIST label edge cases (paper Fig. 11): descriptor states the protocol
+//! itself never produces but the reduction handler and splitter can still
+//! be handed — aliased partials, corrupted descriptors, and oversubscribed
+//! gathers. These pin how the label behaves at its boundaries.
+
+use commtm::labels;
+use commtm::LineData;
+use commtm_protocol::testing::{apply_reduce, apply_split, MapHeap};
+
+fn descriptor(head: u64, tail: u64) -> LineData {
+    let mut d = LineData::zeroed();
+    d[0] = head;
+    d[1] = tail;
+    d
+}
+
+#[test]
+fn reducing_self_identical_descriptors_creates_a_self_loop() {
+    // Two U-state partials must always hold *disjoint* node sets — the
+    // splitter detaches what it donates — so the reduction handler never
+    // defends against aliasing. This test documents the footgun: merging
+    // a single-node descriptor with itself stitches the node's next
+    // pointer to the node itself.
+    let def = labels::list();
+    let mut heap = MapHeap::new();
+    heap.set(0x100, 0);
+    let mut dst = descriptor(0x100, 0x100);
+    let src = descriptor(0x100, 0x100);
+    apply_reduce(&def, &mut heap, &mut dst, &src);
+    assert_eq!(
+        heap.get(0x100),
+        0x100,
+        "aliased merge self-loops the node — partials must stay disjoint"
+    );
+    assert_eq!((dst[0], dst[1]), (0x100, 0x100));
+}
+
+#[test]
+fn split_self_heals_a_head_set_tail_null_descriptor() {
+    // A corrupted descriptor with a head but a null tail: the splitter
+    // reads the head's next pointer to advance, so it never consults the
+    // broken tail — it donates the head and, because the list is now
+    // empty, rewrites the tail to null, leaving a *consistent* empty
+    // descriptor behind.
+    let def = labels::list();
+    let mut heap = MapHeap::new();
+    heap.set(0x100, 0); // single node, next = null
+    let mut local = descriptor(0x100, 0); // tail should be 0x100 but is null
+    let mut out = def.identity();
+    apply_split(&def, &mut heap, &mut local, &mut out, 2);
+    assert_eq!((out[0], out[1]), (0x100, 0x100), "head donated");
+    assert_eq!(
+        (local[0], local[1]),
+        (0, 0),
+        "remainder self-heals to a well-formed empty descriptor"
+    );
+    assert_eq!(heap.get(0x100), 0, "donated node detached");
+}
+
+#[test]
+fn single_node_donation_ignores_oversubscribed_sharer_count() {
+    // The ADD splitter divides by numSharers, but the LIST splitter
+    // donates exactly one node regardless — even when n far exceeds any
+    // real sharer count. The donation must still happen and conservation
+    // must still hold: donated ⊎ remainder reduces back to the original.
+    let def = labels::list();
+    let mut heap = MapHeap::new();
+    heap.set(0x100, 0);
+    let mut local = descriptor(0x100, 0x100);
+    let mut out = def.identity();
+    apply_split(&def, &mut heap, &mut local, &mut out, 64);
+    assert_eq!(
+        (out[0], out[1]),
+        (0x100, 0x100),
+        "node donated despite n=64"
+    );
+    assert_eq!((local[0], local[1]), (0, 0), "remainder empty");
+
+    // Reassemble: out ⊎ local must be the original single-node list.
+    let mut merged = out;
+    apply_reduce(&def, &mut heap, &mut merged, &local);
+    assert_eq!((merged[0], merged[1]), (0x100, 0x100));
+    assert_eq!(heap.get(0x100), 0, "restored node terminates the chain");
+}
+
+#[test]
+fn multi_node_split_conserves_under_any_sharer_count() {
+    // Conservation across n: for every sharer count, splitting a 3-node
+    // chain donates the head and the reassembled list holds the same
+    // nodes in the same order.
+    for n in [1usize, 2, 3, 8, 64] {
+        let def = labels::list();
+        let mut heap = MapHeap::new();
+        heap.set(0x100, 0x200);
+        heap.set(0x200, 0x300);
+        heap.set(0x300, 0);
+        let mut local = descriptor(0x100, 0x300);
+        let mut out = def.identity();
+        apply_split(&def, &mut heap, &mut local, &mut out, n);
+        assert_eq!((out[0], out[1]), (0x100, 0x100), "head donated (n={n})");
+        assert_eq!((local[0], local[1]), (0x200, 0x300));
+
+        let mut merged = out;
+        apply_reduce(&def, &mut heap, &mut merged, &local);
+        assert_eq!((merged[0], merged[1]), (0x100, 0x300));
+        let (a, b, c) = (heap.get(0x100), heap.get(0x200), heap.get(0x300));
+        assert_eq!((a, b, c), (0x200, 0x300, 0), "chain order restored (n={n})");
+    }
+}

@@ -28,6 +28,10 @@ USAGE:
     commtm-lab run <scenario|file.toml> [options]
     commtm-lab run --all [--out-dir DIR] [options]
     commtm-lab bench [--quick] [--out BENCH.json] [--check BASE.json]
+    commtm-lab verify [--all] [options]     commutativity verification:
+                                            algebraic label laws + the
+                                            interleaving oracle over every
+                                            workload's claims
     commtm-lab diff <baseline.json> <current.json> [--tol FRAC]
     commtm-lab trace-validate <trace.json>
                                             check a --trace artifact against
@@ -75,6 +79,15 @@ BENCH OPTIONS:
     --check BASE.json   compare determinism fingerprints against a previous
                         BENCH.json; exit 1 on mismatch (timing never gates)
     --jobs N / --serial as for run
+
+VERIFY OPTIONS:
+    --all               both tiers for every label and workload (default
+                        when no filter is given)
+    --label NAME        check only one label's algebraic laws
+    --workload NAME     check only one workload's commutativity claims
+    --cases N           randomized cases per check (default 32)
+    --seed N            base seed for every generator (default pinned)
+    --json FILE         write the machine-readable report
 ";
 
 fn main() -> ExitCode {
@@ -103,6 +116,13 @@ fn main() -> ExitCode {
             }
         },
         Some("bench") => match cmd_bench(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("verify") => match cmd_verify(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -614,6 +634,82 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `verify`: the commutativity verification harness (see `commtm-verify`):
+/// tier A property-checks every label's algebraic laws, tier B runs both
+/// interleavings of every workload's claimed-commuting operation pairs.
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let mut all = false;
+    let mut label: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut out_json: Option<String> = None;
+    let mut opts = commtm_verify::VerifyOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--all" => all = true,
+            "--label" => label = Some(value("--label")?.clone()),
+            "--workload" => workload = Some(value("--workload")?.clone()),
+            "--cases" => {
+                opts.cases = value("--cases")?.parse().map_err(|_| "bad --cases")?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?;
+            }
+            "--json" => out_json = Some(value("--json")?.clone()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if all && (label.is_some() || workload.is_some()) {
+        return Err("--all runs everything; don't also pass --label/--workload".into());
+    }
+    if let Some(name) = &label {
+        if !commtm_verify::label_specs()
+            .iter()
+            .any(|s| s.name() == *name)
+        {
+            let known: Vec<&str> = commtm_verify::label_specs()
+                .iter()
+                .map(|s| s.name())
+                .collect();
+            return Err(format!(
+                "unknown label {name:?}; built-ins: {}",
+                known.join(", ")
+            ));
+        }
+    }
+    if let Some(name) = &workload {
+        if !commtm_workloads::builtins()
+            .iter()
+            .any(|w| w.name() == *name)
+        {
+            let known: Vec<&str> = commtm_workloads::builtins()
+                .iter()
+                .map(|w| w.name())
+                .collect();
+            return Err(format!(
+                "unknown workload {name:?}; built-ins: {}",
+                known.join(", ")
+            ));
+        }
+    }
+
+    let report = commtm_verify::run_all(label.as_deref(), workload.as_deref(), &opts);
+    print!("{}", report.render_text());
+    if let Some(path) = out_json {
+        std::fs::write(&path, commtm_lab::verify::report_json(&report).pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {

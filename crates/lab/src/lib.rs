@@ -61,6 +61,7 @@ pub mod scenarios;
 pub mod spec;
 pub mod toml;
 pub mod trace;
+pub mod verify;
 
 pub use exec::{run_scenario, run_scenario_in, run_scenario_serial, ExecOptions};
 pub use figures::{figure_file_name, render_figure, render_index};

@@ -1,0 +1,70 @@
+//! JSON rendering for `commtm-lab verify` reports.
+//!
+//! The verification harness itself lives in `commtm-verify`; this module
+//! only adapts its [`VerifyReport`] to the lab's [`Json`] writer so CI
+//! can archive a machine-readable record alongside the text table.
+
+use commtm_verify::{Status, VerifyReport};
+
+use crate::json::Json;
+
+/// Renders a harness report as the lab's JSON value.
+pub fn report_json(report: &VerifyReport) -> Json {
+    let checks: Vec<Json> = report
+        .results
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("tier", Json::Str(r.tier.name().to_string())),
+                ("subject", Json::Str(r.subject.clone())),
+                ("check", Json::Str(r.check.clone())),
+                ("cases", Json::U64(u64::from(r.cases))),
+                (
+                    "status",
+                    Json::Str(
+                        match r.status {
+                            Status::Passed => "passed",
+                            Status::Failed => "failed",
+                            Status::Skipped => "skipped",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("detail", Json::Str(r.detail.clone())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("generator", Json::Str("commtm-lab verify".to_string())),
+        ("seed", Json::U64(report.seed)),
+        ("cases", Json::U64(u64::from(report.cases))),
+        ("ok", Json::Bool(report.ok())),
+        ("failures", Json::U64(report.failures() as u64)),
+        ("checks", Json::Arr(checks)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commtm_verify::{run_all, VerifyOptions};
+
+    #[test]
+    fn report_round_trips_to_json() {
+        let opts = VerifyOptions {
+            cases: 4,
+            ..VerifyOptions::default()
+        };
+        let report = run_all(Some("add"), None, &opts);
+        let json = report_json(&report).pretty();
+        let parsed = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed
+                .get("checks")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(report.results.len())
+        );
+    }
+}

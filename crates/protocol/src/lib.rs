@@ -32,6 +32,7 @@ pub mod footprint;
 mod label;
 mod stats;
 mod system;
+pub mod testing;
 pub mod trace;
 mod types;
 

@@ -712,7 +712,15 @@ impl MemSystem {
         // like a plain store, and leaving the line "E" would let the
         // read-share downgrade and eviction flows treat it as clean and
         // silently discard the committed update.
-        if op.is_store() {
+        //
+        // The `mutate-estate-bug` feature reintroduces the pre-fix
+        // condition (plain stores only) so the verification harness can
+        // prove its interleaving oracle catches the defect.
+        #[cfg(not(feature = "mutate-estate-bug"))]
+        let upgrades_e = op.is_store();
+        #[cfg(feature = "mutate-estate-bug")]
+        let upgrades_e = matches!(op, MemOp::Store(_));
+        if upgrades_e {
             let p = &mut self.privs[core.index()];
             p.l2.touch(l2_slot);
             let l2e = p.l2.entry_mut(l2_slot);

@@ -1,0 +1,76 @@
+//! Heap-backed test doubles shared by unit tests and the verification
+//! harness.
+//!
+//! Reduction handlers and splitters receive a [`ReduceOps`] view of memory
+//! so stateful labels (the list label's node stitching) can follow
+//! pointers. Before this module, every test site carried its own ad-hoc
+//! mock; [`MapHeap`] is the one shared implementation, used by the label
+//! unit tests in `commtm::labels`, the list edge-case suite, and the
+//! algebraic tier of `commtm-verify`.
+//!
+//! The module is compiled unconditionally because `#[cfg(test)]` items
+//! cannot be exported across crates; nothing in the production protocol
+//! paths touches it.
+
+use std::collections::BTreeMap;
+
+use commtm_mem::{Addr, LineData};
+
+use crate::{LabelDef, ReduceOps};
+
+/// A sparse, word-addressed heap backed by a `BTreeMap`: every word reads
+/// as zero until written. Cloning snapshots the heap, which is how the
+/// verification harness evaluates both sides of an algebraic law from the
+/// same starting state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MapHeap {
+    words: BTreeMap<u64, u64>,
+}
+
+impl MapHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at raw address `addr` (zero if never written).
+    pub fn get(&self, addr: u64) -> u64 {
+        *self.words.get(&addr).unwrap_or(&0)
+    }
+
+    /// Writes the word at raw address `addr`.
+    pub fn set(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr, value);
+    }
+}
+
+impl ReduceOps for MapHeap {
+    fn read(&mut self, a: Addr) -> u64 {
+        self.get(a.raw())
+    }
+    fn write(&mut self, a: Addr, v: u64) {
+        self.set(a.raw(), v);
+    }
+}
+
+/// Applies `def`'s reduction handler: `dst ← dst ⊕ src`, with side effects
+/// (e.g. list stitching) landing in `heap`.
+pub fn apply_reduce(def: &LabelDef, heap: &mut MapHeap, dst: &mut LineData, src: &LineData) {
+    (def.reduce())(heap, dst, src);
+}
+
+/// Applies `def`'s splitter: donates part of `local` into `out` for a
+/// gather among `n` sharers.
+///
+/// # Panics
+///
+/// Panics if the label has no splitter.
+pub fn apply_split(
+    def: &LabelDef,
+    heap: &mut MapHeap,
+    local: &mut LineData,
+    out: &mut LineData,
+    n: usize,
+) {
+    (def.split().expect("label has no splitter"))(heap, local, out, n);
+}

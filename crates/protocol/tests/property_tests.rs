@@ -113,6 +113,93 @@ proptest! {
         m.check_invariants().map_err(TestCaseError::fail)?;
     }
 
+    /// The paper's bounded decrement (Sec. IV) under arbitrary mixes of
+    /// increments, gathers, and decrement attempts: gathers redistribute
+    /// partials (possibly returning nothing when other sharers are dry —
+    /// the NACK path), decrements fall back to a plain load, and the
+    /// logical total is conserved at every step.
+    #[test]
+    fn bounded_decrement_gather_conserves(
+        init in 0u64..=40,
+        steps in proptest::collection::vec((0usize..3, 0u32..4), 1..80),
+    ) {
+        let mut m = MemSystem::new(ProtoConfig::paper_with_cores(3), add_table());
+        let mut txs = TxTable::new(3);
+        let addr = Addr::new(0xC000);
+        m.poke_word(addr, init);
+        let mut count = init;
+
+        for (step, (core, kind)) in steps.into_iter().enumerate() {
+            let c = CoreId::new(core);
+            match kind {
+                // Committed transactional increment.
+                0 => {
+                    txs.begin(c, step as u64 + 1);
+                    let v = m.access(c, MemOp::LoadL(ADD), addr, &mut txs).value;
+                    let r = m.access(c, MemOp::StoreL(ADD, v + 1), addr, &mut txs);
+                    if r.self_abort.is_none() && txs.entry(c).active {
+                        m.commit_core(c);
+                        txs.end(c);
+                        count += 1;
+                    } else if txs.entry(c).active {
+                        m.rollback_core(c);
+                        txs.end(c);
+                    }
+                }
+                // Bounded decrement: labeled load, gather if the local
+                // partial is dry, plain load as the last resort. Only a
+                // positive observed value permits the decrement.
+                1 => {
+                    txs.begin(c, step as u64 + 1);
+                    let mut v = m.access(c, MemOp::LoadL(ADD), addr, &mut txs).value;
+                    let mut aborted = false;
+                    if v == 0 {
+                        let r = m.access(c, MemOp::Gather(ADD), addr, &mut txs);
+                        aborted |= r.self_abort.is_some();
+                        v = r.value;
+                    }
+                    if v == 0 && !aborted {
+                        let r = m.access(c, MemOp::Load, addr, &mut txs);
+                        aborted |= r.self_abort.is_some();
+                        v = r.value;
+                    }
+                    let mut decremented = false;
+                    if v > 0 && !aborted {
+                        let r = m.access(c, MemOp::StoreL(ADD, v - 1), addr, &mut txs);
+                        aborted |= r.self_abort.is_some();
+                        decremented = !aborted;
+                    }
+                    if !aborted && txs.entry(c).active {
+                        m.commit_core(c);
+                        txs.end(c);
+                        if decremented {
+                            count -= 1;
+                        }
+                    } else if txs.entry(c).active {
+                        m.rollback_core(c);
+                        txs.end(c);
+                    }
+                }
+                // Non-transactional gather: pure redistribution.
+                2 => {
+                    m.access(c, MemOp::Gather(ADD), addr, &mut txs);
+                }
+                // Non-transactional plain read: forces a reduction and
+                // must observe the exact logical count.
+                _ => {
+                    let v = m.access(c, MemOp::Load, addr, &mut txs).value;
+                    prop_assert_eq!(v, count, "plain read must fold to the count");
+                }
+            }
+            prop_assert_eq!(
+                m.logical_w0(addr.line()),
+                count,
+                "logical total must be conserved after every step"
+            );
+        }
+        m.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
     /// Transactional counter mixes: committed increments are exactly
     /// preserved under arbitrary conflict interleavings.
     #[test]

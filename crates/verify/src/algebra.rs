@@ -1,0 +1,452 @@
+//! Tier A: property-checks of the algebraic label laws.
+//!
+//! For every [`LabelDef`] in `commtm::labels`, randomized `LineData`
+//! values (and, for stateful labels, randomized [`MapHeap`]s) are pushed
+//! through four laws:
+//!
+//! - **commutativity** — `x ⊕ y = y ⊕ x`, compared *bit-exactly* for
+//!   every label: IEEE-754 addition commutes exactly, so even FP ADD must
+//!   pass this one without tolerance;
+//! - **associativity** — `(x ⊕ y) ⊕ z = x ⊕ (y ⊕ z)`, where FP ADD uses
+//!   the tolerance carve-out (semantically but not bit-exactly
+//!   associative — the class of operations the paper supports and
+//!   strict-commutativity schemes like Coup do not);
+//! - **identity** — `x ⊕ id = x = id ⊕ x`;
+//! - **split conservation** — `split(x) = (local, out)` implies
+//!   `local ⊎ out` reduces back to `x` (labels with splitters only).
+//!
+//! Values are compared through a per-label *materializer*: plain labels
+//! compare line words, the list label walks the chain and compares the
+//! node multiset plus well-formedness (termination, tail points at the
+//! last node) — the canonical form two differently-ordered
+//! concatenations share.
+
+use std::collections::HashSet;
+
+use commtm::{labels, LabelDef, LineData, WORDS_PER_LINE};
+use commtm_protocol::testing::{apply_reduce, apply_split, MapHeap};
+use commtm_workloads::ProbeEquality;
+use proptest::TestRng;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::report::{CheckResult, Status, Tier};
+use crate::VerifyOptions;
+
+/// How a label's random values are generated and canonicalized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ValueKind {
+    /// Independent integer words (add, min, max).
+    Ints,
+    /// f64 bit patterns (fp_add).
+    Floats,
+    /// Four (key, value) pairs with globally distinct keys (oput).
+    OputPairs,
+    /// A linked-list descriptor over heap-resident nodes (list).
+    List,
+}
+
+/// One label under algebraic verification.
+pub struct LabelSpec {
+    name: &'static str,
+    def: LabelDef,
+    equality: ProbeEquality,
+    kind: ValueKind,
+}
+
+impl LabelSpec {
+    /// The label's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The comparison mode non-commutativity laws use (`FpTolerance` for
+    /// fp_add, `Exact` otherwise). Pinned by the fp_add regression test.
+    pub fn equality(&self) -> ProbeEquality {
+        self.equality
+    }
+}
+
+/// The six built-in labels with their generators and comparison modes.
+pub fn label_specs() -> Vec<LabelSpec> {
+    vec![
+        LabelSpec {
+            name: "add",
+            def: labels::add(),
+            equality: ProbeEquality::Exact,
+            kind: ValueKind::Ints,
+        },
+        LabelSpec {
+            name: "fp_add",
+            def: labels::fp_add(),
+            equality: ProbeEquality::FpTolerance { rel: 1e-12 },
+            kind: ValueKind::Floats,
+        },
+        LabelSpec {
+            name: "min",
+            def: labels::min(),
+            equality: ProbeEquality::Exact,
+            kind: ValueKind::Ints,
+        },
+        LabelSpec {
+            name: "max",
+            def: labels::max(),
+            equality: ProbeEquality::Exact,
+            kind: ValueKind::Ints,
+        },
+        LabelSpec {
+            name: "oput",
+            def: labels::oput(),
+            equality: ProbeEquality::Exact,
+            kind: ValueKind::OputPairs,
+        },
+        LabelSpec {
+            name: "list",
+            def: labels::list(),
+            equality: ProbeEquality::Exact,
+            kind: ValueKind::List,
+        },
+    ]
+}
+
+/// Random-value source for one check: a seeded rng plus a bump allocator
+/// for list nodes and a key-dedup set for oput.
+struct Gen {
+    rng: TestRng,
+    next_node: u64,
+    used_keys: HashSet<u64>,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            rng: TestRng(StdRng::seed_from_u64(seed)),
+            next_node: 0x1000,
+            used_keys: HashSet::new(),
+        }
+    }
+
+    fn value(&mut self, kind: ValueKind, heap: &mut MapHeap) -> LineData {
+        let rng = &mut self.rng.0;
+        match kind {
+            ValueKind::Ints => {
+                let mut l = LineData::zeroed();
+                for i in 0..WORDS_PER_LINE {
+                    l[i] = match rng.random_range(0..4u32) {
+                        0 => 0,
+                        1 => rng.random_range(0..1_000u64),
+                        _ => rng.next_u64(),
+                    };
+                }
+                l
+            }
+            ValueKind::Floats => {
+                let mut l = LineData::zeroed();
+                for i in 0..WORDS_PER_LINE {
+                    // Finite, exact-at-generation values (power-of-two
+                    // denominator), positive and negative.
+                    let v = (rng.random_range(0..2_000_001u64) as i64 - 1_000_000) as f64 / 16.0;
+                    l[i] = v.to_bits();
+                }
+                l
+            }
+            ValueKind::OputPairs => {
+                let mut l = LineData::zeroed();
+                for p in 0..WORDS_PER_LINE / 2 {
+                    if rng.random_range(0..4u32) == 0 {
+                        l[2 * p] = u64::MAX; // identity pair
+                    } else {
+                        let k = loop {
+                            let k = rng.random_range(0..1_000_000u64);
+                            if self.used_keys.insert(k) {
+                                break k;
+                            }
+                        };
+                        l[2 * p] = k;
+                        l[2 * p + 1] = rng.next_u64();
+                    }
+                }
+                l
+            }
+            ValueKind::List => {
+                let len = rng.random_range(0..5u64);
+                let mut l = LineData::zeroed();
+                let mut prev = 0u64;
+                for _ in 0..len {
+                    let node = self.next_node;
+                    self.next_node += 0x40;
+                    heap.set(node, 0);
+                    if prev == 0 {
+                        l[0] = node;
+                    } else {
+                        heap.set(prev, node);
+                    }
+                    prev = node;
+                }
+                l[1] = prev;
+                l
+            }
+        }
+    }
+}
+
+/// Canonical form of a value: directly comparable across evaluation
+/// orders.
+fn materialize(kind: ValueKind, heap: &MapHeap, line: &LineData) -> Vec<u64> {
+    match kind {
+        ValueKind::Ints | ValueKind::Floats => line.words().to_vec(),
+        ValueKind::OputPairs => {
+            let mut out = Vec::with_capacity(WORDS_PER_LINE);
+            for p in 0..WORDS_PER_LINE / 2 {
+                if line[2 * p] == u64::MAX {
+                    // Identity pair: the value word is meaningless.
+                    out.extend([u64::MAX, 0]);
+                } else {
+                    out.extend([line[2 * p], line[2 * p + 1]]);
+                }
+            }
+            out
+        }
+        ValueKind::List => {
+            let mut nodes = Vec::new();
+            let mut cur = line[0];
+            let mut last = 0u64;
+            let mut steps = 0;
+            while cur != 0 {
+                steps += 1;
+                if steps > 64 {
+                    return vec![u64::MAX, 1]; // cycle / runaway: malformed
+                }
+                nodes.push(cur);
+                last = cur;
+                cur = heap.get(cur);
+            }
+            if line[1] != last {
+                return vec![u64::MAX, 2]; // tail does not point at the end
+            }
+            nodes.sort_unstable();
+            let mut out = vec![nodes.len() as u64];
+            out.extend(nodes);
+            out
+        }
+    }
+}
+
+/// Per-word comparison scale for fp tolerance: the sum of input
+/// magnitudes, floored at 1.0.
+fn fp_scale(inputs: &[&LineData]) -> Vec<f64> {
+    (0..WORDS_PER_LINE)
+        .map(|i| {
+            inputs
+                .iter()
+                .map(|l| f64::from_bits(l[i]).abs())
+                .sum::<f64>()
+                .max(1.0)
+        })
+        .collect()
+}
+
+fn agree(eq: ProbeEquality, a: &[u64], b: &[u64], scale: &[f64]) -> bool {
+    match eq {
+        ProbeEquality::Exact => a == b,
+        ProbeEquality::FpTolerance { rel } => {
+            a.len() == b.len()
+                && a.iter().zip(b).enumerate().all(|(i, (&x, &y))| {
+                    let (fx, fy) = (f64::from_bits(x), f64::from_bits(y));
+                    if !fx.is_finite() || !fy.is_finite() {
+                        return x == y;
+                    }
+                    (fx - fy).abs() <= rel * scale.get(i).copied().unwrap_or(1.0)
+                })
+        }
+    }
+}
+
+fn fail(spec: &LabelSpec, law: &str, cases: u32, detail: String) -> CheckResult {
+    CheckResult {
+        tier: Tier::Algebraic,
+        subject: spec.name.to_string(),
+        check: law.to_string(),
+        cases,
+        status: Status::Failed,
+        detail,
+    }
+}
+
+fn pass(spec: &LabelSpec, law: &str, cases: u32) -> CheckResult {
+    CheckResult {
+        tier: Tier::Algebraic,
+        subject: spec.name.to_string(),
+        check: law.to_string(),
+        cases,
+        status: Status::Passed,
+        detail: String::new(),
+    }
+}
+
+fn law_seed(base: u64, label: &str, law: &str) -> u64 {
+    // FNV-1a over label/law so every check draws an independent stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base;
+    for b in label.bytes().chain([b'/']).chain(law.bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn check_commutativity(spec: &LabelSpec, opts: &VerifyOptions) -> CheckResult {
+    let mut g = Gen::new(law_seed(opts.seed, spec.name, "commutativity"));
+    for case in 0..opts.cases {
+        let mut heap = MapHeap::new();
+        let x = g.value(spec.kind, &mut heap);
+        let y = g.value(spec.kind, &mut heap);
+        let (mut h1, mut h2) = (heap.clone(), heap.clone());
+        let mut a = x;
+        apply_reduce(&spec.def, &mut h1, &mut a, &y);
+        let mut b = y;
+        apply_reduce(&spec.def, &mut h2, &mut b, &x);
+        let (ma, mb) = (
+            materialize(spec.kind, &h1, &a),
+            materialize(spec.kind, &h2, &b),
+        );
+        // Reduction commutativity is bit-exact for every label, FP ADD
+        // included: IEEE-754 addition commutes exactly.
+        if ma != mb {
+            return fail(
+                spec,
+                "commutativity",
+                opts.cases,
+                format!(
+                    "case {case}: x⊕y={ma:?} but y⊕x={mb:?} for x={:?} y={:?}",
+                    x.words(),
+                    y.words()
+                ),
+            );
+        }
+    }
+    pass(spec, "commutativity", opts.cases)
+}
+
+fn check_associativity(spec: &LabelSpec, opts: &VerifyOptions) -> CheckResult {
+    let mut g = Gen::new(law_seed(opts.seed, spec.name, "associativity"));
+    for case in 0..opts.cases {
+        let mut heap = MapHeap::new();
+        let x = g.value(spec.kind, &mut heap);
+        let y = g.value(spec.kind, &mut heap);
+        let z = g.value(spec.kind, &mut heap);
+        let scale = fp_scale(&[&x, &y, &z]);
+        let mut h1 = heap.clone();
+        let mut lhs = x;
+        apply_reduce(&spec.def, &mut h1, &mut lhs, &y);
+        apply_reduce(&spec.def, &mut h1, &mut lhs, &z);
+        let mut h2 = heap.clone();
+        let mut yz = y;
+        apply_reduce(&spec.def, &mut h2, &mut yz, &z);
+        let mut rhs = x;
+        apply_reduce(&spec.def, &mut h2, &mut rhs, &yz);
+        let (ml, mr) = (
+            materialize(spec.kind, &h1, &lhs),
+            materialize(spec.kind, &h2, &rhs),
+        );
+        if !agree(spec.equality, &ml, &mr, &scale) {
+            return fail(
+                spec,
+                "associativity",
+                opts.cases,
+                format!("case {case}: (x⊕y)⊕z={ml:?} but x⊕(y⊕z)={mr:?}"),
+            );
+        }
+    }
+    pass(spec, "associativity", opts.cases)
+}
+
+fn check_identity(spec: &LabelSpec, opts: &VerifyOptions) -> CheckResult {
+    let mut g = Gen::new(law_seed(opts.seed, spec.name, "identity"));
+    for case in 0..opts.cases {
+        let mut heap = MapHeap::new();
+        let x = g.value(spec.kind, &mut heap);
+        let id = spec.def.identity();
+        let want = materialize(spec.kind, &heap, &x);
+        let mut h1 = heap.clone();
+        let mut right = x;
+        apply_reduce(&spec.def, &mut h1, &mut right, &id);
+        if materialize(spec.kind, &h1, &right) != want {
+            return fail(
+                spec,
+                "identity",
+                opts.cases,
+                format!("case {case}: x⊕id ≠ x for x={:?}", x.words()),
+            );
+        }
+        let mut h2 = heap.clone();
+        let mut left = id;
+        apply_reduce(&spec.def, &mut h2, &mut left, &x);
+        if materialize(spec.kind, &h2, &left) != want {
+            return fail(
+                spec,
+                "identity",
+                opts.cases,
+                format!("case {case}: id⊕x ≠ x for x={:?}", x.words()),
+            );
+        }
+    }
+    pass(spec, "identity", opts.cases)
+}
+
+fn check_split_conservation(spec: &LabelSpec, opts: &VerifyOptions) -> CheckResult {
+    if spec.def.split().is_none() {
+        return CheckResult {
+            tier: Tier::Algebraic,
+            subject: spec.name.to_string(),
+            check: "split-conservation".to_string(),
+            cases: 0,
+            status: Status::Skipped,
+            detail: "label has no splitter".to_string(),
+        };
+    }
+    let mut g = Gen::new(law_seed(opts.seed, spec.name, "split-conservation"));
+    for case in 0..opts.cases {
+        let mut heap = MapHeap::new();
+        let x = g.value(spec.kind, &mut heap);
+        let n = g.rng.0.random_range(1..=8usize);
+        let want = materialize(spec.kind, &heap, &x);
+        let mut h = heap.clone();
+        let mut local = x;
+        let mut out = spec.def.identity();
+        apply_split(&spec.def, &mut h, &mut local, &mut out, n);
+        // Reassemble donated ⊎ remainder (donation first: the list
+        // splitter donates the head).
+        let mut merged = out;
+        apply_reduce(&spec.def, &mut h, &mut merged, &local);
+        if materialize(spec.kind, &h, &merged) != want {
+            return fail(
+                spec,
+                "split-conservation",
+                opts.cases,
+                format!(
+                    "case {case}: split(n={n}) lost value: local={:?} out={:?} from x={:?}",
+                    local.words(),
+                    merged.words(),
+                    x.words()
+                ),
+            );
+        }
+    }
+    pass(spec, "split-conservation", opts.cases)
+}
+
+/// Runs every algebraic law for every (optionally filtered) label.
+pub fn verify_labels(filter: Option<&str>, opts: &VerifyOptions) -> Vec<CheckResult> {
+    let mut out = Vec::new();
+    for spec in label_specs() {
+        if let Some(f) = filter {
+            if spec.name != f {
+                continue;
+            }
+        }
+        out.push(check_commutativity(&spec, opts));
+        out.push(check_associativity(&spec, opts));
+        out.push(check_identity(&spec, opts));
+        out.push(check_split_conservation(&spec, opts));
+    }
+    out
+}

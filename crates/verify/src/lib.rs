@@ -1,0 +1,68 @@
+//! Commutativity verification harness for the CommTM reproduction.
+//!
+//! The paper's whole correctness argument (Sec. III) assumes the labeled
+//! operations workloads issue actually commute. This crate checks that
+//! assumption from two directions:
+//!
+//! - **Tier A ([`algebra`])** — the algebraic laws every label's reduction
+//!   function and splitter must satisfy (commutativity, associativity,
+//!   identity, split conservation), property-checked over randomized
+//!   lines and heaps for all six built-in labels, with FP ADD exercising
+//!   the "semantically but not bit-exactly associative" carve-out.
+//! - **Tier B ([`oracle`])** — the interleaving oracle: each workload's
+//!   declared [`commtm_workloads::Claim`]s run in both orders from
+//!   identical randomized machine states on a real `MemSystem`, and a
+//!   logical-state probe (the differencing abstraction of Koskinen &
+//!   Bansal) must agree, shrinking to a minimal counterexample otherwise.
+//!
+//! The `commtm-lab verify` subcommand drives [`run_all`]; CI runs it with
+//! a pinned seed, plus a mutation check (`--features mutate-estate-bug`)
+//! proving the oracle catches a real, previously-fixed protocol bug.
+
+pub mod algebra;
+pub mod oracle;
+pub mod report;
+
+pub use algebra::{label_specs, verify_labels, LabelSpec};
+pub use oracle::{check_claim, verify_claims};
+pub use report::{CheckResult, Status, Tier, VerifyReport};
+
+/// Knobs for one harness invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyOptions {
+    /// Randomized cases per check.
+    pub cases: u32,
+    /// Base seed every per-check generator derives from.
+    pub seed: u64,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            cases: 32,
+            seed: 0x5EED_C077,
+        }
+    }
+}
+
+/// Runs both tiers, honoring the optional label / workload filters: a
+/// label filter alone runs only tier A, a workload filter alone only
+/// tier B, neither runs everything.
+pub fn run_all(
+    label_filter: Option<&str>,
+    workload_filter: Option<&str>,
+    opts: &VerifyOptions,
+) -> VerifyReport {
+    let mut results = Vec::new();
+    if workload_filter.is_none() || label_filter.is_some() {
+        results.extend(verify_labels(label_filter, opts));
+    }
+    if label_filter.is_none() || workload_filter.is_some() {
+        results.extend(verify_claims(workload_filter, opts));
+    }
+    VerifyReport {
+        seed: opts.seed,
+        cases: opts.cases,
+        results,
+    }
+}

@@ -1,0 +1,160 @@
+//! Tier B: the interleaving oracle over workload commutativity claims.
+//!
+//! Every built-in workload declares [`Claim`]s — pairs of labeled
+//! operations it believes commute. For each claim, the oracle draws
+//! randomized inputs, builds two identical machines (same setup, same
+//! cache-state scramble), runs the pair in both orders, and compares the
+//! claim's logical-state probes. A disagreement is a commutativity
+//! violation; the oracle then greedily shrinks the inputs toward each
+//! spec's low end to report a minimal counterexample.
+
+use commtm_workloads::{builtins, Claim, Inputs, OpOrder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::report::{CheckResult, Status, Tier};
+use crate::VerifyOptions;
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs one claim attempt: both interleavings from identical machines.
+/// `Ok(())` means the probes agreed; `Err` carries the mismatch (or a
+/// coherence-invariant violation, which also fails the claim).
+fn attempt(claim: &Claim, inputs: &Inputs, scramble_seed: u64) -> Result<(), String> {
+    let a = claim
+        .run_order(inputs, OpOrder::AB, scramble_seed)
+        .map_err(|e| format!("invariant violation (a-then-b): {e}"))?;
+    let b = claim
+        .run_order(inputs, OpOrder::BA, scramble_seed)
+        .map_err(|e| format!("invariant violation (b-then-a): {e}"))?;
+    if claim.probe_equality().probes_agree(&a, &b) {
+        Ok(())
+    } else {
+        Err(format!("probe mismatch: a-then-b {a:?} vs b-then-a {b:?}"))
+    }
+}
+
+/// Greedily shrinks a failing assignment toward each input's low end,
+/// keeping only changes that preserve the failure. Returns the minimal
+/// inputs and their mismatch description.
+fn shrink(
+    claim: &Claim,
+    mut inputs: Inputs,
+    scramble_seed: u64,
+    mut err: String,
+) -> (Inputs, String) {
+    let specs = claim.input_specs();
+    loop {
+        let mut changed = false;
+        for (i, spec) in specs.iter().enumerate() {
+            let lo = spec.lo;
+            let cur = inputs.value(i);
+            if cur == lo {
+                continue;
+            }
+            // Jump straight to the minimum first.
+            let mut probe = inputs.clone();
+            probe.set(i, lo);
+            if let Err(e) = attempt(claim, &probe, scramble_seed) {
+                inputs = probe;
+                err = e;
+                changed = true;
+                continue;
+            }
+            // Bisect (lo, cur) for the smallest still-failing value.
+            let (mut good, mut bad) = (lo, cur);
+            while bad - good > 1 {
+                let mid = good + (bad - good) / 2;
+                let mut probe = inputs.clone();
+                probe.set(i, mid);
+                match attempt(claim, &probe, scramble_seed) {
+                    Err(e) => {
+                        bad = mid;
+                        err = e;
+                    }
+                    Ok(()) => good = mid,
+                }
+            }
+            if bad != cur {
+                inputs.set(i, bad);
+                changed = true;
+            }
+        }
+        if !changed {
+            return (inputs, err);
+        }
+    }
+}
+
+/// Verifies one claim over `opts.cases` randomized input draws.
+pub fn check_claim(workload: &str, claim: &Claim, opts: &VerifyOptions) -> CheckResult {
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ fnv(claim.name()));
+    for case in 0..opts.cases {
+        let inputs = Inputs::new(
+            claim
+                .input_specs()
+                .iter()
+                .map(|s| (s.name, rng.random_range(s.lo..=s.hi)))
+                .collect(),
+        );
+        let scramble_seed = opts
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(case));
+        if let Err(err) = attempt(claim, &inputs, scramble_seed) {
+            let (min, min_err) = shrink(claim, inputs, scramble_seed, err);
+            return CheckResult {
+                tier: Tier::Interleaving,
+                subject: workload.to_string(),
+                check: claim.name().to_string(),
+                cases: opts.cases,
+                status: Status::Failed,
+                detail: format!("minimal counterexample [{}]: {min_err}", min.describe()),
+            };
+        }
+    }
+    CheckResult {
+        tier: Tier::Interleaving,
+        subject: workload.to_string(),
+        check: claim.name().to_string(),
+        cases: opts.cases,
+        status: Status::Passed,
+        detail: String::new(),
+    }
+}
+
+/// Verifies every claim of every (optionally filtered) built-in workload.
+/// A workload with no claims yields a `Skipped` row so missing coverage
+/// stays visible.
+pub fn verify_claims(filter: Option<&str>, opts: &VerifyOptions) -> Vec<CheckResult> {
+    let mut out = Vec::new();
+    for w in builtins() {
+        if let Some(f) = filter {
+            if w.name() != f {
+                continue;
+            }
+        }
+        let claims = w.commutativity_claims();
+        if claims.is_empty() {
+            out.push(CheckResult {
+                tier: Tier::Interleaving,
+                subject: w.name().to_string(),
+                check: "(no claims)".to_string(),
+                cases: 0,
+                status: Status::Skipped,
+                detail: "workload declares no commutativity claims".to_string(),
+            });
+            continue;
+        }
+        for claim in &claims {
+            out.push(check_claim(w.name(), claim, opts));
+        }
+    }
+    out
+}

@@ -1,0 +1,126 @@
+//! Report types for the verification harness: one [`CheckResult`] per
+//! law or claim, aggregated into a [`VerifyReport`].
+
+use std::fmt::Write as _;
+
+/// Which tier produced a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Tier A: algebraic label laws over randomized lines and heaps.
+    Algebraic,
+    /// Tier B: the interleaving oracle over workload claims.
+    Interleaving,
+}
+
+impl Tier {
+    /// The spelling used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Algebraic => "algebraic",
+            Tier::Interleaving => "interleaving",
+        }
+    }
+}
+
+/// Outcome of one check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Every case agreed.
+    Passed,
+    /// A counterexample survived; the detail describes it.
+    Failed,
+    /// Not applicable (e.g. split conservation on a label with no
+    /// splitter); the detail gives the reason.
+    Skipped,
+}
+
+/// One verified law or claim.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// Which tier ran it.
+    pub tier: Tier,
+    /// The label (tier A) or workload (tier B) under test.
+    pub subject: String,
+    /// The law (`commutativity`, ...) or claim name.
+    pub check: String,
+    /// Randomized cases executed.
+    pub cases: u32,
+    /// Pass / fail / skip.
+    pub status: Status,
+    /// Counterexample or skip reason; empty on a pass.
+    pub detail: String,
+}
+
+/// The harness's full output for one invocation.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// The base seed every generator derived from.
+    pub seed: u64,
+    /// Cases per check.
+    pub cases: u32,
+    /// Every check that ran (or was skipped).
+    pub results: Vec<CheckResult>,
+}
+
+impl VerifyReport {
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.status == Status::Failed)
+            .count()
+    }
+
+    /// Whether every check passed or was skipped.
+    pub fn ok(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Renders the aligned text table `commtm-lab verify` prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "commutativity verification (seed {:#x})", self.seed);
+        let subject_w = self
+            .results
+            .iter()
+            .map(|r| r.subject.len())
+            .max()
+            .unwrap_or(0)
+            .max("subject".len());
+        let check_w = self
+            .results
+            .iter()
+            .map(|r| r.check.len())
+            .max()
+            .unwrap_or(0)
+            .max("check".len());
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<subject_w$} {:<check_w$} {:>5}  result",
+            "tier", "subject", "check", "cases"
+        );
+        for r in &self.results {
+            let verdict = match r.status {
+                Status::Passed => "ok".to_string(),
+                Status::Failed => format!("FAIL  {}", r.detail),
+                Status::Skipped => format!("skip  {}", r.detail),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<subject_w$} {:<check_w$} {:>5}  {}",
+                r.tier.name(),
+                r.subject,
+                r.check,
+                r.cases,
+                verdict
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} checks, {} failed",
+            self.results.len(),
+            self.failures()
+        );
+        out
+    }
+}

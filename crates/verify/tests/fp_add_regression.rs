@@ -1,0 +1,85 @@
+//! FP ADD regression (paper Sec. III-A): floating-point addition is
+//! *bit-exactly commutative* but only *semantically associative* — the
+//! carve-out that lets CommTM label FP accumulations where a scheme
+//! demanding bit-exact results could not. These tests pin both halves of
+//! that statement against the real `labels::fp_add()` reduction handler.
+
+use commtm::{labels, LineData};
+use commtm_protocol::testing::{apply_reduce, MapHeap};
+use commtm_verify::{run_all, VerifyOptions};
+use commtm_workloads::ProbeEquality;
+
+fn fp_line(v: f64) -> LineData {
+    LineData::splat(v.to_bits())
+}
+
+fn reduce(dst: LineData, src: LineData) -> LineData {
+    let def = labels::fp_add();
+    let mut heap = MapHeap::new();
+    let mut d = dst;
+    apply_reduce(&def, &mut heap, &mut d, &src);
+    d
+}
+
+#[test]
+fn fp_add_commutes_bit_exactly() {
+    // IEEE-754 addition commutes exactly, so the reduction must too —
+    // including on values whose sums round.
+    for (a, b) in [
+        (0.1, 0.2),
+        (1e16, 1.0),
+        (-0.3, 0.3),
+        (3.5e-10, 7.25),
+        (f64::MAX / 2.0, f64::MAX / 4.0),
+    ] {
+        assert_eq!(
+            reduce(fp_line(a), fp_line(b)).words(),
+            reduce(fp_line(b), fp_line(a)).words(),
+            "fp_add({a}, {b}) must be bit-identical to fp_add({b}, {a})"
+        );
+    }
+}
+
+#[test]
+fn fp_add_is_not_bit_exactly_associative() {
+    // The textbook counterexample: (0.1 + 0.2) + 0.3 rounds differently
+    // from 0.1 + (0.2 + 0.3). The raw f64 arithmetic diverges...
+    let lhs = (0.1f64 + 0.2) + 0.3;
+    let rhs = 0.1f64 + (0.2 + 0.3);
+    assert_ne!(lhs.to_bits(), rhs.to_bits(), "f64 addition associates?");
+
+    // ...and the reduction handler faithfully reproduces that divergence:
+    // different reduction orders yield different bit patterns.
+    let grouped_left = reduce(reduce(fp_line(0.1), fp_line(0.2)), fp_line(0.3));
+    let grouped_right = reduce(fp_line(0.1), reduce(fp_line(0.2), fp_line(0.3)));
+    assert_ne!(
+        grouped_left.words(),
+        grouped_right.words(),
+        "reduction order must reproduce IEEE rounding divergence"
+    );
+
+    // But the two orders agree semantically: within relative tolerance.
+    let eq = ProbeEquality::FpTolerance { rel: 1e-12 };
+    assert!(
+        eq.probes_agree(grouped_left.words(), grouped_right.words()),
+        "orders must agree within tolerance"
+    );
+}
+
+#[test]
+fn harness_grants_fp_add_the_tolerance_carve_out() {
+    // The algebraic tier must compare fp_add associativity with
+    // tolerance (and everything else exactly) — pin that configuration.
+    let spec = commtm_verify::label_specs()
+        .into_iter()
+        .find(|s| s.name() == "fp_add")
+        .expect("fp_add spec");
+    assert!(
+        matches!(spec.equality(), ProbeEquality::FpTolerance { .. }),
+        "fp_add must use the tolerance carve-out"
+    );
+
+    // And with that carve-out, all four laws pass.
+    let report = run_all(Some("fp_add"), None, &VerifyOptions::default());
+    assert!(report.ok(), "{}", report.render_text());
+}

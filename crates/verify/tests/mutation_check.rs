@@ -1,0 +1,42 @@
+//! Mutation check: the interleaving oracle must catch a real protocol
+//! bug. The `mutate-estate-bug` feature reintroduces the PR-4 defect
+//! where a labeled store left an Exclusive line's LLC copy stale (the
+//! E→M upgrade only fired for plain stores, so a clean-E downgrade could
+//! discard the labeled update). With the mutation compiled in, the bank
+//! workload's credit/audit claim must FAIL; without it, the same claim
+//! must pass.
+//!
+//! CI runs this test twice: once in the default build (green path) and
+//! once with `--features mutate-estate-bug` (the oracle must go red).
+
+use commtm_verify::{run_all, VerifyOptions};
+
+#[cfg(feature = "mutate-estate-bug")]
+#[test]
+fn oracle_catches_the_estate_bug() {
+    let report = run_all(None, Some("bank"), &VerifyOptions::default());
+    assert!(
+        report.failures() > 0,
+        "the mutated protocol must fail the bank claims:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report
+            .results
+            .iter()
+            .any(|r| r.status == commtm_verify::Status::Failed && r.check.contains("credit")),
+        "the credit/audit claim specifically must catch the E-state bug:\n{}",
+        report.render_text()
+    );
+}
+
+#[cfg(not(feature = "mutate-estate-bug"))]
+#[test]
+fn bank_claims_pass_without_the_mutation() {
+    let report = run_all(None, Some("bank"), &VerifyOptions::default());
+    assert!(
+        report.ok(),
+        "unmutated protocol must pass the bank claims:\n{}",
+        report.render_text()
+    );
+}

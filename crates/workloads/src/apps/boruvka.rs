@@ -19,6 +19,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::ds::emit_barrier;
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, ParamValue, Params};
@@ -430,6 +431,53 @@ impl Workload for Boruvka {
 
     fn summary(&self) -> &'static str {
         "minimum spanning tree over a road-like graph"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let min_l = LabelId::new(0);
+        let add = LabelId::new(0);
+        let comp = Addr::new(0x1000);
+        let weight = Addr::new(0x1000);
+        let relabel = move |core: usize, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let lo = inp.get(key);
+                ctx.txn(core, |t| t.store_l(min_l, comp, lo));
+            }
+        };
+        let accumulate = move |core: usize, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let w = inp.get(key);
+                ctx.txn(core, |t| {
+                    let tot = t.load_l(add, weight);
+                    t.store_l(add, weight, tot + w);
+                });
+            }
+        };
+        vec![
+            Claim::new(
+                "boruvka/component-relabels-commute",
+                "two MIN-labeled component relabelings keep the lowest \
+                 representative id in either order",
+            )
+            .label(labels::min())
+            .input("xa", 0..=1_000_000)
+            .input("xb", 0..=1_000_000)
+            .setup(move |ctx: &mut ClaimCtx, _inp: &Inputs| ctx.poke(comp, u64::MAX))
+            .op_a(relabel(0, "xa"))
+            .op_b(relabel(1, "xb"))
+            .probe(move |ctx: &mut ClaimCtx| vec![ctx.read(0, comp)]),
+            Claim::new(
+                "boruvka/mst-weight-accumulations-commute",
+                "two ADD-labeled MST-weight accumulations sum identically in \
+                 either order",
+            )
+            .label(labels::add())
+            .input("wa", 1..=1_000_000)
+            .input("wb", 1..=1_000_000)
+            .op_a(accumulate(0, "wa"))
+            .op_b(accumulate(1, "wb"))
+            .probe(move |ctx: &mut ClaimCtx| vec![ctx.logical_w0(weight), ctx.read(0, weight)]),
+        ]
     }
 
     fn schema(&self) -> ParamSchema {

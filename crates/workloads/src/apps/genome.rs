@@ -12,6 +12,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -271,6 +272,52 @@ impl Workload for Genome {
 
     fn summary(&self) -> &'static str {
         "sequence dedup over a hash set with gathers"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let add = LabelId::new(0);
+        let space = Addr::new(0x1000); // bounded remaining-space counter
+        let bucket = |i: u64| Addr::new(0x2000 + 64 * i);
+        let insert = move |core: usize, b: u64| {
+            move |ctx: &mut ClaimCtx, _inp: &Inputs| {
+                ctx.txn(core, |t| {
+                    // Claim a slot from the bounded remaining-space counter
+                    // (gather, then plain-read fallback), then count the
+                    // segment in its bucket.
+                    let mut v = t.load_l(add, space);
+                    if v == 0 {
+                        v = t.gather(add, space);
+                    }
+                    if v == 0 {
+                        v = t.load(space);
+                    }
+                    if v > 0 {
+                        t.store_l(add, space, v - 1);
+                        let c = t.load_l(add, bucket(b));
+                        t.store_l(add, bucket(b), c + 1);
+                    }
+                });
+            }
+        };
+        vec![Claim::new(
+            "genome/segment-insertions-commute",
+            "two hash-set segment insertions that both fit the remaining \
+             space commute: bucket counts and the space counter agree in \
+             either order",
+        )
+        .label(labels::add())
+        .input("space", 2..=64)
+        .setup(move |ctx: &mut ClaimCtx, inp: &Inputs| ctx.poke(space, inp.get("space")))
+        .op_a(insert(0, 0))
+        .op_b(insert(1, 1))
+        .probe(move |ctx: &mut ClaimCtx| {
+            vec![
+                ctx.logical_w0(space),
+                ctx.read(0, space),
+                ctx.read(0, bucket(0)),
+                ctx.read(0, bucket(1)),
+            ]
+        })]
     }
 
     fn schema(&self) -> ParamSchema {

@@ -12,6 +12,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs, ProbeEquality};
 use crate::ds::emit_barrier;
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
@@ -282,6 +283,40 @@ impl Workload for Kmeans {
 
     fn summary(&self) -> &'static str {
         "clustering with commutative centroid updates"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let fpadd = LabelId::new(0);
+        let acc = Addr::new(0x1000);
+        // Inputs are drawn as integers and mapped onto f64 coordinates by
+        // an exact power-of-two scale, so shrinking stays meaningful.
+        let coord = |raw: u64| raw as f64 / 16.0;
+        let accumulate = move |core: usize, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let x = coord(inp.get(key));
+                ctx.txn(core, |t| {
+                    let cur = f64::from_bits(t.load_l(fpadd, acc));
+                    t.store_l(fpadd, acc, (cur + x).to_bits());
+                });
+            }
+        };
+        vec![Claim::new(
+            "kmeans/centroid-accumulations-commute-within-tolerance",
+            "FP ADD centroid accumulations are semantically, not bit-exactly, \
+             commutative: probes compare within relative tolerance (the \
+             paper's carve-out Coup cannot express)",
+        )
+        .label(labels::fp_add())
+        .input("init", 0..=1_000_000)
+        .input("xa", 1..=1_000_000)
+        .input("xb", 1..=1_000_000)
+        .equality(ProbeEquality::FpTolerance { rel: 1e-12 })
+        .setup(move |ctx: &mut ClaimCtx, inp: &Inputs| {
+            ctx.poke(acc, coord(inp.get("init")).to_bits());
+        })
+        .op_a(accumulate(0, "xa"))
+        .op_b(accumulate(1, "xb"))
+        .probe(move |ctx: &mut ClaimCtx| vec![ctx.read(0, acc)])]
     }
 
     fn schema(&self) -> ParamSchema {

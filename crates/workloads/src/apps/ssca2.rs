@@ -12,6 +12,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -211,6 +212,38 @@ impl Workload for Ssca2 {
 
     fn summary(&self) -> &'static str {
         "graph kernel with rare global-metadata updates"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let add = LabelId::new(0);
+        let degrees = Addr::new(0x1000); // eight per-vertex counters, one line
+        let bump = move |core: usize, wkey: &'static str, dkey: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let a = degrees.offset_words(inp.get(wkey));
+                let d = inp.get(dkey);
+                ctx.txn(core, |t| {
+                    let v = t.load_l(add, a);
+                    t.store_l(add, a, v.wrapping_add(d));
+                });
+            }
+        };
+        vec![Claim::new(
+            "ssca2/degree-updates-commute",
+            "ADD-labeled per-vertex degree bumps commute even when both land \
+             on the same word of the shared metadata line",
+        )
+        .label(labels::add())
+        .input("wa", 0..=7)
+        .input("wb", 0..=7)
+        .input("da", 1..=1_000)
+        .input("db", 1..=1_000)
+        .op_a(bump(0, "wa", "da"))
+        .op_b(bump(1, "wb", "db"))
+        .probe(move |ctx: &mut ClaimCtx| {
+            let mut p = vec![ctx.logical_w0(degrees)];
+            p.extend((0..8).map(|w| ctx.read(0, degrees.offset_words(w))));
+            p
+        })]
     }
 
     fn schema(&self) -> ParamSchema {

@@ -13,6 +13,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -298,6 +299,54 @@ impl Workload for Vacation {
 
     fn summary(&self) -> &'static str {
         "travel reservations with bounded remaining-space counters"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let add = LabelId::new(0);
+        let seats = Addr::new(0x1000);
+        let booked = Addr::new(0x1040);
+        let reserve = move |core: usize, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let amt = inp.get(key);
+                ctx.txn(core, |t| {
+                    // Bounded seat debit (gather, then plain-read
+                    // fallback), mirrored by a booked-count credit.
+                    let mut v = t.load_l(add, seats);
+                    if v < amt {
+                        v = t.gather(add, seats);
+                    }
+                    if v < amt {
+                        v = t.load(seats);
+                    }
+                    if v >= amt {
+                        t.store_l(add, seats, v - amt);
+                        let b = t.load_l(add, booked);
+                        t.store_l(add, booked, b + amt);
+                    }
+                });
+            }
+        };
+        vec![Claim::new(
+            "vacation/reservations-commute",
+            "two reservations that both fit the free-seat pool commute: \
+             seats and bookings agree (and conserve) in either order",
+        )
+        .label(labels::add())
+        // free >= amta + amtb, so both reservations always succeed.
+        .input("free", 20..=1_000)
+        .input("amta", 1..=10)
+        .input("amtb", 1..=10)
+        .setup(move |ctx: &mut ClaimCtx, inp: &Inputs| ctx.poke(seats, inp.get("free")))
+        .op_a(reserve(0, "amta"))
+        .op_b(reserve(1, "amtb"))
+        .probe(move |ctx: &mut ClaimCtx| {
+            vec![
+                ctx.logical_w0(seats),
+                ctx.logical_w0(booked),
+                ctx.read(0, seats),
+                ctx.read(0, booked),
+            ]
+        })]
     }
 
     fn schema(&self) -> ParamSchema {

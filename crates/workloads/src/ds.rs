@@ -26,6 +26,17 @@ impl Words for TxWords<'_, '_, '_> {
     }
 }
 
+/// [`Words`] over a commutativity-claim transaction, so data-structure
+/// code (e.g. [`simheap`]) runs unchanged inside claim ops.
+impl Words for crate::claims::TxOps<'_> {
+    fn get(&mut self, addr: Addr) -> u64 {
+        self.load(addr)
+    }
+    fn put(&mut self, addr: Addr, value: u64) {
+        self.store(addr, value);
+    }
+}
+
 /// [`Words`] over a reduction-handler context.
 pub struct RedWords<'a>(pub &'a mut dyn ReduceOps);
 

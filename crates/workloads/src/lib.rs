@@ -35,12 +35,14 @@
 //! parameter.
 
 pub mod apps;
+pub mod claims;
 pub mod ds;
 pub mod micro;
 mod params;
 mod spec;
 mod workload;
 
+pub use claims::{Claim, ClaimCtx, Inputs, OpOrder, ProbeEquality};
 pub use params::{nearest, ParamDefault, ParamSchema, ParamSpec, ParamType, ParamValue, Params};
 pub use spec::BaseCfg;
 pub use workload::{builtins, RunOutcome, Workload, WorkloadKind};

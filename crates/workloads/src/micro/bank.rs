@@ -17,6 +17,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::ds::emit_barrier;
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
@@ -351,6 +352,82 @@ impl Workload for Bank {
 
     fn summary(&self) -> &'static str {
         "account transfers with consistent audits (named mixes)"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let add = LabelId::new(0);
+        let acct = |i: u64| Addr::new(0x1000 + 64 * i);
+        let transfer = move |core: usize, src: u64, dst: u64, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let amt = inp.get(key);
+                ctx.txn(core, |t| {
+                    // Bounded debit (Sec. IV), then a labeled credit.
+                    let mut v = t.load_l(add, acct(src));
+                    if v < amt {
+                        v = t.gather(add, acct(src));
+                    }
+                    if v < amt {
+                        v = t.load(acct(src));
+                    }
+                    if v >= amt {
+                        t.store_l(add, acct(src), v - amt);
+                        let w = t.load_l(add, acct(dst));
+                        t.store_l(add, acct(dst), w + amt);
+                    }
+                });
+            }
+        };
+        vec![
+            Claim::new(
+                "bank/disjoint-transfers-commute",
+                "transfers between disjoint account pairs preserve every \
+                 balance and the grand total in either order",
+            )
+            .label(labels::add())
+            .input("b0", 100..=10_000)
+            .input("b1", 100..=10_000)
+            .input("b2", 100..=10_000)
+            .input("b3", 100..=10_000)
+            .input("amta", 1..=100)
+            .input("amtb", 1..=100)
+            .setup(move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                ctx.poke(acct(0), inp.get("b0"));
+                ctx.poke(acct(1), inp.get("b1"));
+                ctx.poke(acct(2), inp.get("b2"));
+                ctx.poke(acct(3), inp.get("b3"));
+            })
+            .op_a(transfer(0, 0, 1, "amta"))
+            .op_b(transfer(1, 2, 3, "amtb"))
+            .probe(move |ctx: &mut ClaimCtx| (0..4).map(|i| ctx.read(0, acct(i))).collect()),
+            Claim::new(
+                "bank/credit-commutes-with-audit",
+                "a labeled credit hitting an exclusive (audit-warmed) copy \
+                 commutes with a remote audit read — the PR-4 E-state \
+                 value-resurrection regression, staked as a claim",
+            )
+            .cores(3)
+            .label(labels::add())
+            .input("init", 0..=100_000)
+            .input("amt", 1..=1_000)
+            .setup(move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                ctx.poke(acct(0), inp.get("init"));
+                // Audit pass: the sole reader takes the line in E.
+                ctx.read(0, acct(0));
+            })
+            .op_a(move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let amt = inp.get("amt");
+                ctx.txn(0, |t| {
+                    let v = t.load_l(add, acct(0));
+                    t.store_l(add, acct(0), v.wrapping_add(amt));
+                });
+            })
+            .op_b(move |ctx: &mut ClaimCtx, _inp: &Inputs| {
+                ctx.txn(1, |t| {
+                    t.load(acct(0));
+                });
+            })
+            .probe(move |ctx: &mut ClaimCtx| vec![ctx.logical_w0(acct(0)), ctx.read(2, acct(0))]),
+        ]
     }
 
     fn schema(&self) -> ParamSchema {

@@ -5,6 +5,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -122,6 +123,32 @@ impl Workload for Counter {
 
     fn summary(&self) -> &'static str {
         "shared-counter increments (Fig. 9)"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let add = LabelId::new(0);
+        let ctr = Addr::new(0x1000);
+        let inc = move |core: usize, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let d = inp.get(key);
+                ctx.txn(core, |t| {
+                    let v = t.load_l(add, ctr);
+                    t.store_l(add, ctr, v.wrapping_add(d));
+                });
+            }
+        };
+        vec![Claim::new(
+            "counter/increments-commute",
+            "two transactional ADD-labeled increments to one shared counter",
+        )
+        .label(labels::add())
+        .input("init", 0..=1_000_000)
+        .input("da", 1..=1_000)
+        .input("db", 1..=1_000)
+        .setup(move |ctx, inp| ctx.poke(ctr, inp.get("init")))
+        .op_a(inc(0, "da"))
+        .op_b(inc(1, "db"))
+        .probe(move |ctx| vec![ctx.logical_w0(ctr), ctx.read(0, ctr)])]
     }
 
     fn schema(&self) -> ParamSchema {

@@ -11,6 +11,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -294,6 +295,58 @@ impl Workload for List {
 
     fn summary(&self) -> &'static str {
         "linked-list enqueues/dequeues (Fig. 12)"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let list_l = LabelId::new(0);
+        let head_addr = Addr::new(0x1000);
+        let tail_addr = head_addr.offset_words(1);
+        let enqueue = move |core: usize, node: u64, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let value = inp.get(key);
+                ctx.txn(core, |t| {
+                    t.store(Addr::new(node), 0); // node.next
+                    t.store(Addr::new(node + 8), value);
+                    let tail = t.load_l(list_l, tail_addr);
+                    if tail == 0 {
+                        t.store_l(list_l, head_addr, node);
+                        t.store_l(list_l, tail_addr, node);
+                    } else {
+                        t.store(Addr::new(tail), node); // tail.next = node
+                        t.store_l(list_l, tail_addr, node);
+                    }
+                });
+            }
+        };
+        vec![Claim::new(
+            "list/enqueues-commute",
+            "two transactional enqueues onto one shared list build the same \
+             multiset of values and a well-formed chain, in either order",
+        )
+        .label(labels::list())
+        .input("va", 1..=1_000_000)
+        .input("vb", 1..=1_000_000)
+        .op_a(enqueue(0, 0x2000, "va"))
+        .op_b(enqueue(1, 0x2040, "vb"))
+        .probe(move |ctx: &mut ClaimCtx| {
+            // A plain read reduces the descriptor (concatenating the
+            // partial lists); walk the merged chain.
+            let mut head = ctx.read(0, head_addr);
+            let tail = ctx.read(0, tail_addr);
+            let mut values = Vec::new();
+            let mut last = 0;
+            let mut steps = 0u64;
+            while head != 0 && steps < 16 {
+                values.push(ctx.read(0, Addr::new(head + 8)));
+                last = head;
+                head = ctx.read(0, Addr::new(head));
+                steps += 1;
+            }
+            values.sort_unstable();
+            let mut probe = vec![steps, u64::from(tail == last)];
+            probe.extend(values);
+            probe
+        })]
     }
 
     fn schema(&self) -> ParamSchema {

@@ -6,6 +6,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -151,6 +152,39 @@ impl Workload for Oput {
 
     fn summary(&self) -> &'static str {
         "ordered puts / priority updates (Fig. 13)"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let oput_l = LabelId::new(0);
+        let key_addr = Addr::new(0x1000);
+        let val_addr = key_addr.offset_words(1);
+        let put = move |core: usize, kname: &'static str, vname: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let (k, v) = (inp.get(kname), inp.get(vname));
+                ctx.txn(core, |t| {
+                    let cur = t.load_l(oput_l, key_addr);
+                    if k < cur {
+                        t.store_l(oput_l, key_addr, k);
+                        t.store_l(oput_l, val_addr, v);
+                    }
+                });
+            }
+        };
+        vec![Claim::new(
+            "oput/distinct-key-puts-commute",
+            "two ordered puts with distinct keys keep the lower-key pair in \
+             either order (ties are excluded: OPUT's tie-break is first-wins)",
+        )
+        .label(labels::oput())
+        // Disjoint key ranges: shrinking stays within them, so no ties.
+        .input("ka", 0..=999)
+        .input("kb", 1_000..=1_999)
+        .input("va", 1..=1_000_000)
+        .input("vb", 1..=1_000_000)
+        .setup(move |ctx: &mut ClaimCtx, _inp: &Inputs| ctx.poke(key_addr, u64::MAX))
+        .op_a(put(0, "ka", "va"))
+        .op_b(put(1, "kb", "vb"))
+        .probe(move |ctx: &mut ClaimCtx| vec![ctx.read(0, key_addr), ctx.read(0, val_addr)])]
     }
 
     fn schema(&self) -> ParamSchema {

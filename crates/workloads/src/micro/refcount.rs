@@ -7,6 +7,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
 
@@ -247,6 +248,44 @@ impl Workload for Refcount {
 
     fn summary(&self) -> &'static str {
         "bounded non-negative reference counters (Fig. 10)"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        let add = LabelId::new(0);
+        let ctr = Addr::new(0x1000);
+        vec![Claim::new(
+            "refcount/acquire-commutes-with-bounded-release",
+            "a labeled increment and the paper's bounded decrement (gather, then \
+             plain-read fallback) commute while the count stays positive",
+        )
+        .label(labels::add())
+        .input("init", 1..=64)
+        .input("inc", 1..=16)
+        .setup(move |ctx: &mut ClaimCtx, inp: &Inputs| ctx.poke(ctr, inp.get("init")))
+        .op_a(move |ctx: &mut ClaimCtx, inp: &Inputs| {
+            let d = inp.get("inc");
+            ctx.txn(0, |t| {
+                let v = t.load_l(add, ctr);
+                t.store_l(add, ctr, v + d);
+            });
+        })
+        .op_b(move |ctx: &mut ClaimCtx, _inp: &Inputs| {
+            ctx.txn(1, |t| {
+                // Sec. IV bounded decrement: local partial, then gather,
+                // then a reducing plain read.
+                let mut v = t.load_l(add, ctr);
+                if v == 0 {
+                    v = t.gather(add, ctr);
+                }
+                if v == 0 {
+                    v = t.load(ctr);
+                }
+                if v > 0 {
+                    t.store_l(add, ctr, v - 1);
+                }
+            });
+        })
+        .probe(move |ctx: &mut ClaimCtx| vec![ctx.logical_w0(ctr), ctx.read(0, ctr)])]
     }
 
     fn schema(&self) -> ParamSchema {

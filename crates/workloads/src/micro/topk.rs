@@ -7,6 +7,7 @@
 
 use commtm::prelude::*;
 
+use crate::claims::{Claim, ClaimCtx, Inputs};
 use crate::ds::{simheap, topk_label, TxWords, Words};
 use crate::workload::{RunOutcome, Workload, WorkloadKind};
 use crate::{BaseCfg, ParamSchema, Params};
@@ -164,6 +165,58 @@ impl Workload for TopK {
 
     fn summary(&self) -> &'static str {
         "top-K set insertions (Fig. 14)"
+    }
+
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        const K: u64 = 4;
+        let topk = LabelId::new(0);
+        let desc = Addr::new(0x1000);
+        let insert = move |core: usize, my_heap: Addr, key: &'static str| {
+            move |ctx: &mut ClaimCtx, inp: &Inputs| {
+                let x = inp.get(key);
+                ctx.txn(core, |t| {
+                    let mut hp = t.load_l(topk, desc);
+                    if hp == 0 {
+                        // Install this core's local heap behind the
+                        // (partial) descriptor.
+                        hp = my_heap.raw();
+                        t.store_l(topk, desc, hp);
+                    }
+                    simheap::insert(t, Addr::new(hp), x);
+                });
+            }
+        };
+        vec![Claim::new(
+            "topk/inserts-commute",
+            "two top-K insertions into per-core partial heaps retain the same \
+             value set after the reduction merges them, in either order",
+        )
+        .label(topk_label())
+        .input("xa", 1..=1_000_000)
+        .input("xb", 1..=1_000_000)
+        .setup(move |ctx: &mut ClaimCtx, _inp: &Inputs| {
+            // Two empty heaps of capacity K (len word stays zero).
+            ctx.poke(Addr::new(0x2000).offset_words(1), K);
+            ctx.poke(Addr::new(0x3000).offset_words(1), K);
+        })
+        .op_a(insert(0, Addr::new(0x2000), "xa"))
+        .op_b(insert(1, Addr::new(0x3000), "xb"))
+        .probe(move |ctx: &mut ClaimCtx| {
+            // A plain read of the descriptor reduces: the partial heaps
+            // merge into whichever survives.
+            let hp = ctx.read(0, desc);
+            if hp == 0 {
+                return vec![0];
+            }
+            let len = ctx.read(0, Addr::new(hp));
+            let mut vals: Vec<u64> = (0..len.min(K))
+                .map(|i| ctx.read(0, Addr::new(hp).offset_words(2 + i)))
+                .collect();
+            vals.sort_unstable();
+            let mut probe = vec![len];
+            probe.extend(vals);
+            probe
+        })]
     }
 
     fn schema(&self) -> ParamSchema {

@@ -19,6 +19,7 @@ use std::any::Any;
 
 use commtm::{Machine, RunReport, Trace};
 
+use crate::claims::Claim;
 use crate::BaseCfg;
 use crate::{ParamSchema, Params};
 
@@ -100,6 +101,16 @@ pub trait Workload: Send + Sync {
         let mut out = self.run(base, params);
         self.oracle(&base, params, &mut out);
         out.report
+    }
+
+    /// The commutativity claims this workload stakes: pairs of labeled
+    /// operations it believes commute, with randomized inputs and a
+    /// logical-state probe (see [`crate::claims`]). `commtm-lab verify`
+    /// runs both interleavings of every claim and demands probe equality.
+    /// Every shipped workload declares at least one claim; the default is
+    /// empty so external implementations opt in incrementally.
+    fn commutativity_claims(&self) -> Vec<Claim> {
+        Vec::new()
     }
 
     /// Like [`Workload::run_checked`], but also hands back the machine's
