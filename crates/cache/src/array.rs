@@ -1,5 +1,7 @@
 //! Generic set-associative cache array with LRU and reserved-way fills.
 
+use std::sync::Arc;
+
 use commtm_mem::{LineAddr, LineData};
 
 use crate::geometry::CacheGeometry;
@@ -83,7 +85,15 @@ pub struct CacheArray<M> {
     /// `Entry` structs, so the per-operation tag scan touches one or two
     /// host cache lines. Invariant: `tags[set*ways + way]` mirrors
     /// `sets[set][way]`.
-    tags: Vec<u64>,
+    ///
+    /// The array is behind an `Arc` with copy-on-write semantics: a paper-
+    /// scale L3 bank eagerly allocates 64K tag words, and the epoch-parallel
+    /// engine clones the whole memory system once per worker, so a plain
+    /// `Vec` would put megabytes of memcpy on every worker spawn. Cloning
+    /// the array just bumps the refcount; the first mutation after a clone
+    /// ([`Arc::make_mut`] in `fill`/`remove_slot`/the copy APIs) detaches a
+    /// private copy, and every later mutation is in place again.
+    tags: Arc<Vec<u64>>,
     tick: u64,
     resident: usize,
 }
@@ -101,10 +111,17 @@ impl<M> CacheArray<M> {
         CacheArray {
             geom,
             sets,
-            tags: vec![EMPTY_TAG; geom.lines()],
+            tags: Arc::new(vec![EMPTY_TAG; geom.lines()]),
             tick: 0,
             resident: 0,
         }
+    }
+
+    /// Whether this array still shares its tag side-array allocation with
+    /// `other` (copy-on-write not yet triggered). Engine/test support: the
+    /// epoch engine's zero-copy worker spawn is asserted through this.
+    pub fn tags_shared_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.tags, &other.tags)
     }
 
     /// The array's geometry.
@@ -253,7 +270,7 @@ impl<M> CacheArray<M> {
             EMPTY_TAG,
             "line index collides with the vacant sentinel"
         );
-        self.tags[base + way] = line.raw();
+        Arc::make_mut(&mut self.tags)[base + way] = line.raw();
         if victim.is_none() {
             self.resident += 1;
         }
@@ -281,7 +298,7 @@ impl<M> CacheArray<M> {
             .expect("stale slot handle")[slot.0 % ways]
             .take()
             .expect("stale slot handle");
-        self.tags[slot.0] = EMPTY_TAG;
+        Arc::make_mut(&mut self.tags)[slot.0] = EMPTY_TAG;
         self.resident -= 1;
         e
     }
@@ -360,10 +377,71 @@ impl<M> CacheArray<M> {
         let new = src.sets[set]
             .as_ref()
             .map_or(0, |s| s.iter().flatten().count());
-        self.sets[set] = src.sets[set].clone();
-        self.tags[base..base + ways].copy_from_slice(&src.tags[base..base + ways]);
+        Self::copy_set_storage(&mut self.sets[set], &src.sets[set], ways);
+        if !Arc::ptr_eq(&self.tags, &src.tags) {
+            Arc::make_mut(&mut self.tags)[base..base + ways]
+                .copy_from_slice(&src.tags[base..base + ways]);
+        }
         self.resident = self.resident - old + new;
         self.tick = self.tick.max(src.tick);
+    }
+
+    /// Overwrites this array to equal `src` (same geometry), reusing this
+    /// array's existing per-set boxes instead of allocating fresh ones.
+    ///
+    /// Engine support for the epoch-parallel commit path: the base system
+    /// re-absorbs each touched core's private caches every epoch, so a
+    /// plain `clone()` there would allocate one box per occupied set per
+    /// core per epoch. The tag side-array is adopted by refcount bump when
+    /// the arrays have diverged allocations and copied in place otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn copy_from(&mut self, src: &Self)
+    where
+        M: Clone,
+    {
+        assert_eq!(
+            (self.geom.sets(), self.geom.ways()),
+            (src.geom.sets(), src.geom.ways()),
+            "copy_from across different geometries"
+        );
+        let ways = self.geom.ways();
+        for (dst, s) in self.sets.iter_mut().zip(src.sets.iter()) {
+            Self::copy_set_storage(dst, s, ways);
+        }
+        if !Arc::ptr_eq(&self.tags, &src.tags) {
+            match Arc::get_mut(&mut self.tags) {
+                // Sole owner of our allocation: copy in place, no alloc.
+                Some(tags) => tags.copy_from_slice(&src.tags),
+                // Shared: adopt src's allocation by refcount bump.
+                None => self.tags = Arc::clone(&src.tags),
+            }
+        }
+        self.tick = src.tick;
+        self.resident = src.resident;
+    }
+
+    /// Mirrors one set's storage from `s` into `dst`, reusing `dst`'s box
+    /// when both sides are allocated.
+    fn copy_set_storage(
+        dst: &mut Option<Box<[Option<Entry<M>>]>>,
+        s: &Option<Box<[Option<Entry<M>>]>>,
+        ways: usize,
+    ) where
+        M: Clone,
+    {
+        match (dst.as_mut(), s) {
+            (Some(d), Some(s)) => {
+                debug_assert_eq!(d.len(), ways);
+                for (d, s) in d.iter_mut().zip(s.iter()) {
+                    d.clone_from(s);
+                }
+            }
+            (None, Some(s)) => *dst = Some(s.clone()),
+            (_, None) => *dst = None,
+        }
     }
 
     fn set_range(&self, line: LineAddr) -> (usize, usize) {

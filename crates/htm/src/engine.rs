@@ -253,6 +253,12 @@ impl CoreExec {
         self.program = program;
         self.env = env;
         self.runner = runner;
+        if self.runner.in_progress() {
+            // The restored log prefix is committed history; re-replaying
+            // it on every remaining pass would be quadratic, so ask the
+            // runner to continue via a suspension regardless of length.
+            self.runner.resume_hint();
+        }
         self.block_idx = block_idx;
         self.block_started = block_started;
         self.block_start_regs = block_start_regs;

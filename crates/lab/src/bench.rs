@@ -11,7 +11,12 @@
 //! The grids are **pinned**: same scenarios, thread counts, seeds, and
 //! scales on every run, so numbers are comparable across commits on the
 //! same machine. `quick` runs the subset CI exercises; the full set adds
-//! the heavier grids used for PR-to-PR speedup claims.
+//! the heavier grids used for PR-to-PR speedup claims. An optional
+//! worker sweep (`--machine-threads N`) additionally re-runs each serial
+//! grid at every worker count `1..=N`, reporting per-count wall time and
+//! throughput — the measured answer to "what does the epoch-parallel
+//! engine buy on this host", with fingerprints gated against the serial
+//! grid exactly like the `-epoch` twins.
 
 use crate::exec::{run_scenario, ExecOptions};
 use crate::json::{parse, Json};
@@ -117,6 +122,29 @@ pub fn grids(quick: bool) -> Vec<BenchGrid> {
     out
 }
 
+/// One row of the optional `--machine-threads` sweep: a pinned serial
+/// grid re-run under the machine engine at a fixed worker count
+/// (`machine_threads = 1` selects the serial engine, so the first row is
+/// the baseline the others are read against). Worker count may move wall
+/// time only, never simulated behavior: each row's fingerprint must equal
+/// its base grid's, and [`BenchReport::engine_twin_mismatches`] enforces
+/// that alongside the `-epoch` twins.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The serial grid this row re-runs (matches a [`GridResult::name`]).
+    pub grid: String,
+    /// Host threads stepping each simulated machine.
+    pub machine_threads: u64,
+    /// Host wall time for the whole grid, milliseconds.
+    pub wall_ms: u64,
+    /// Simulated memory operations issued (identical across worker counts).
+    pub ops: u64,
+    /// Simulated operations per host second at this worker count.
+    pub ops_per_sec: u64,
+    /// Canonical results fingerprint (must match the base grid's).
+    pub fingerprint: String,
+}
+
 /// Measured results for one pinned grid.
 #[derive(Clone, Debug)]
 pub struct GridResult {
@@ -144,6 +172,9 @@ pub struct BenchReport {
     pub quick: bool,
     /// Per-grid results, in execution order.
     pub grids: Vec<GridResult>,
+    /// Per-worker-count rows from the `--machine-threads` sweep (empty
+    /// when no sweep was requested).
+    pub sweep: Vec<SweepRow>,
     /// Total host wall time, milliseconds.
     pub total_wall_ms: u64,
 }
@@ -162,10 +193,19 @@ fn fingerprint(set: &ResultSet) -> String {
 
 /// Runs the pinned grids and collects the report.
 ///
+/// When `sweep_threads` is non-empty, every serial grid is additionally
+/// re-run once per listed worker count with that `machine_threads`
+/// setting, producing the per-worker-count [`SweepRow`]s — the numbers
+/// behind "what does within-machine parallelism buy on this host".
+///
 /// # Errors
 ///
 /// Propagates scenario execution failures (a cell that cannot run).
-pub fn run(quick: bool, opts: &ExecOptions) -> Result<BenchReport, String> {
+pub fn run(
+    quick: bool,
+    sweep_threads: &[usize],
+    opts: &ExecOptions,
+) -> Result<BenchReport, String> {
     let mut out = Vec::new();
     let total_start = std::time::Instant::now();
     for grid in grids(quick) {
@@ -189,9 +229,40 @@ pub fn run(quick: bool, opts: &ExecOptions) -> Result<BenchReport, String> {
             fingerprint: fingerprint(&set),
         });
     }
+    let mut sweep = Vec::new();
+    for grid in grids(quick) {
+        // The `-epoch` twins already pin one worker count; the sweep
+        // re-runs the serial grids across the requested range instead.
+        if grid.name.ends_with("-epoch") {
+            continue;
+        }
+        for &mt in sweep_threads {
+            let mut scenario = grid.scenario.clone();
+            scenario.tuning.machine_threads = Some(mt.max(1));
+            let start = std::time::Instant::now();
+            let set = run_scenario(&scenario, opts)?;
+            let wall_ms = start.elapsed().as_millis() as u64;
+            let ops: u64 = set
+                .cells
+                .iter()
+                .filter_map(|c| c.stats.as_ref())
+                .map(|s| s.total_ops)
+                .sum();
+            let secs = (wall_ms as f64 / 1000.0).max(1e-9);
+            sweep.push(SweepRow {
+                grid: grid.name.to_string(),
+                machine_threads: mt.max(1) as u64,
+                wall_ms,
+                ops,
+                ops_per_sec: (ops as f64 / secs) as u64,
+                fingerprint: fingerprint(&set),
+            });
+        }
+    }
     Ok(BenchReport {
         quick,
         grids: out,
+        sweep,
         total_wall_ms: total_start.elapsed().as_millis() as u64,
     })
 }
@@ -220,6 +291,24 @@ impl BenchReport {
                                 ("ops", Json::U64(g.ops)),
                                 ("ops_per_sec", Json::U64(g.ops_per_sec)),
                                 ("fingerprint", Json::Str(g.fingerprint.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "machine_threads_sweep",
+                Json::Arr(
+                    self.sweep
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("grid", Json::Str(r.grid.clone())),
+                                ("machine_threads", Json::U64(r.machine_threads)),
+                                ("wall_ms", Json::U64(r.wall_ms)),
+                                ("ops", Json::U64(r.ops)),
+                                ("ops_per_sec", Json::U64(r.ops_per_sec)),
+                                ("fingerprint", Json::Str(r.fingerprint.clone())),
                             ])
                         })
                         .collect(),
@@ -262,9 +351,36 @@ impl BenchReport {
                 fingerprint: s("fingerprint")?,
             });
         }
+        // Older baselines (pr3/pr5) predate the worker sweep; treat a
+        // missing section as an empty one.
+        let mut sweep = Vec::new();
+        if let Some(rows) = v.get("machine_threads_sweep").and_then(Json::as_arr) {
+            for r in rows {
+                let s = |k: &str| -> Result<String, String> {
+                    r.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("sweep row missing {k:?}"))
+                };
+                let u = |k: &str| -> Result<u64, String> {
+                    r.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("sweep row missing {k:?}"))
+                };
+                sweep.push(SweepRow {
+                    grid: s("grid")?,
+                    machine_threads: u("machine_threads")?,
+                    wall_ms: u("wall_ms")?,
+                    ops: u("ops")?,
+                    ops_per_sec: u("ops_per_sec")?,
+                    fingerprint: s("fingerprint")?,
+                });
+            }
+        }
         Ok(BenchReport {
             quick: v.get("mode").and_then(Json::as_str) == Some("quick"),
             grids: out,
+            sweep,
             total_wall_ms: v.get("total_wall_ms").and_then(Json::as_u64).unwrap_or(0),
         })
     }
@@ -286,6 +402,19 @@ impl BenchReport {
                 g.name, g.wall_ms, g.cells, g.ops, g.ops_per_sec, g.fingerprint
             ));
         }
+        if !self.sweep.is_empty() {
+            s.push_str("machine-threads sweep (same grids; only wall time may move)\n");
+            s.push_str(&format!(
+                "{:<16} {:>7} {:>8} {:>12} {:>12}  {}\n",
+                "grid", "workers", "wall ms", "sim ops", "ops/sec", "fingerprint"
+            ));
+            for r in &self.sweep {
+                s.push_str(&format!(
+                    "{:<16} {:>7} {:>8} {:>12} {:>12}  {}\n",
+                    r.grid, r.machine_threads, r.wall_ms, r.ops, r.ops_per_sec, r.fingerprint
+                ));
+            }
+        }
         s.push_str(&format!("total wall time: {} ms\n", self.total_wall_ms));
         s
     }
@@ -293,7 +422,9 @@ impl BenchReport {
     /// Serial/epoch engine twins (`<grid>` vs `<grid>-epoch`) must carry
     /// identical fingerprints — the epoch-parallel engine is byte-identical
     /// to the serial one by construction, and this is the bench-level
-    /// enforcement of that claim. Returns the twin names that diverged.
+    /// enforcement of that claim. Worker-sweep rows are held to the same
+    /// standard against their base grid. Returns the names that diverged
+    /// (sweep rows as `<grid>@mtN`).
     pub fn engine_twin_mismatches(&self) -> Vec<String> {
         let mut bad = Vec::new();
         for g in &self.grids {
@@ -302,6 +433,13 @@ impl BenchReport {
                     if b.fingerprint != g.fingerprint {
                         bad.push(g.name.clone());
                     }
+                }
+            }
+        }
+        for r in &self.sweep {
+            if let Some(b) = self.grids.iter().find(|b| b.name == r.grid) {
+                if b.fingerprint != r.fingerprint {
+                    bad.push(format!("{}@mt{}", r.grid, r.machine_threads));
                 }
             }
         }
@@ -357,7 +495,7 @@ mod tests {
             jobs: 1,
             quiet: true,
         };
-        let report = run(true, &opts).expect("bench runs");
+        let report = run(true, &[], &opts).expect("bench runs");
         let serial = report.grids.iter().find(|g| g.name == "counter-quick");
         let epoch = report
             .grids
@@ -384,6 +522,14 @@ mod tests {
                 ops_per_sec: 83000,
                 fingerprint: "00ff".into(),
             }],
+            sweep: vec![SweepRow {
+                grid: "counter-quick".into(),
+                machine_threads: 2,
+                wall_ms: 8,
+                ops: 1000,
+                ops_per_sec: 125000,
+                fingerprint: "00ff".into(),
+            }],
             total_wall_ms: 12,
         };
         let text = report.to_json().pretty();
@@ -391,7 +537,28 @@ mod tests {
         assert_eq!(back.grids[0].fingerprint, "00ff");
         assert_eq!(back.grids[0].ops, 1000);
         assert!(back.quick);
+        assert_eq!(back.sweep.len(), 1);
+        assert_eq!(back.sweep[0].machine_threads, 2);
         assert!(report.fingerprint_mismatches(&back).is_empty());
+        assert!(back.engine_twin_mismatches().is_empty());
+
+        // A sweep row that disagrees with its base grid is an engine bug
+        // and must be named in the twin gate.
+        let mut diverged = back.clone();
+        diverged.sweep[0].fingerprint = "beef".into();
+        assert_eq!(
+            diverged.engine_twin_mismatches(),
+            vec!["counter-quick@mt2".to_string()]
+        );
+
+        // Pre-sweep baselines (BENCH_pr3/pr5) lack the sweep key entirely
+        // and must still parse, with an empty sweep.
+        let old = BenchReport::from_json_str(
+            r#"{"mode":"quick","total_wall_ms":1,"grids":[{"name":"g","what":"x",
+                "wall_ms":1,"cells":1,"ops":1,"ops_per_sec":1,"fingerprint":"aa"}]}"#,
+        )
+        .expect("pre-sweep baseline parses");
+        assert!(old.sweep.is_empty());
 
         let mut other = back;
         other.grids[0].fingerprint = "beef".into();
@@ -409,8 +576,8 @@ mod tests {
             jobs: 1,
             quiet: true,
         };
-        let a = run(true, &opts).expect("bench runs");
-        let b = run(true, &opts).expect("bench runs");
+        let a = run(true, &[], &opts).expect("bench runs");
+        let b = run(true, &[], &opts).expect("bench runs");
         assert_eq!(a.grids.len(), 2, "serial grid plus its engine twin");
         assert!(a.grids[0].ops > 0, "ops counted");
         assert_eq!(
@@ -418,5 +585,32 @@ mod tests {
             "same build, same seeds, same fingerprint"
         );
         assert!(a.fingerprint_mismatches(&b).is_empty());
+    }
+
+    #[test]
+    fn machine_threads_sweep_rows_match_the_serial_grid() {
+        let opts = ExecOptions {
+            jobs: 1,
+            quiet: true,
+        };
+        let report = run(true, &[1, 2], &opts).expect("bench runs");
+        // Quick mode has one serial grid; two worker counts → two rows,
+        // in worker-count order, all fingerprinting like the serial run.
+        assert_eq!(report.sweep.len(), 2);
+        let serial = report
+            .grids
+            .iter()
+            .find(|g| g.name == "counter-quick")
+            .expect("serial grid");
+        for (row, mt) in report.sweep.iter().zip([1u64, 2]) {
+            assert_eq!(row.grid, "counter-quick");
+            assert_eq!(row.machine_threads, mt);
+            assert!(row.ops > 0);
+            assert_eq!(
+                row.fingerprint, serial.fingerprint,
+                "worker count changed simulated behavior"
+            );
+        }
+        assert!(report.engine_twin_mismatches().is_empty());
     }
 }

@@ -27,7 +27,8 @@ USAGE:
                                             typed parameter schemas
     commtm-lab run <scenario|file.toml> [options]
     commtm-lab run --all [--out-dir DIR] [options]
-    commtm-lab bench [--quick] [--out BENCH.json] [--check BASE.json]
+    commtm-lab bench [--quick] [--machine-threads N]
+                     [--out BENCH.json] [--check BASE.json]
     commtm-lab verify [--all] [options]     commutativity verification:
                                             algebraic label laws + the
                                             interleaving oracle over every
@@ -75,6 +76,11 @@ RUN OPTIONS:
 
 BENCH OPTIONS:
     --quick             run only the CI perf-smoke grid subset
+    --machine-threads N additionally re-run each serial grid at every
+                        machine-engine worker count 1..=N, reporting
+                        per-count wall/ops-per-sec rows; each row's
+                        fingerprint must match the serial grid's (gated
+                        like the -epoch twins)
     --out FILE.json     write the BENCH.json perf baseline
     --check BASE.json   compare determinism fingerprints against a previous
                         BENCH.json; exit 1 on mismatch (timing never gates)
@@ -556,6 +562,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut sweep_to: usize = 0;
     let mut opts = ExecOptions {
         jobs: 0,
         quiet: true,
@@ -567,6 +574,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         };
         match arg.as_str() {
             "--quick" => quick = true,
+            "--machine-threads" => {
+                sweep_to = value("--machine-threads")?
+                    .parse()
+                    .map_err(|_| "bad --machine-threads")?;
+            }
             "--out" => out = Some(value("--out")?.clone()),
             "--check" => check = Some(value("--check")?.clone()),
             "--jobs" => {
@@ -578,7 +590,8 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let report = bench::run(quick, &opts)?;
+    let sweep: Vec<usize> = (1..=sweep_to).collect();
+    let report = bench::run(quick, &sweep, &opts)?;
     print!("{}", report.render());
     if let Some(path) = &out {
         std::fs::write(path, report.to_json().pretty())

@@ -318,16 +318,21 @@ fn tuning_from_json(v: &Json) -> Result<Tuning, String> {
     };
     let mut t = Tuning::default();
     for (key, value) in pairs {
-        // `trace` is the one boolean tuning knob (TOML `true`/`false`;
-        // 0/1 accepted for symmetry with the other integer fields).
-        if key == "trace" {
-            t.trace = Some(match value {
+        // `trace` and `adaptive_groups` are boolean tuning knobs (TOML
+        // `true`/`false`; 0/1 accepted for symmetry with the integers).
+        if key == "trace" || key == "adaptive_groups" {
+            let b = match value {
                 Json::Bool(b) => *b,
                 other => match other.as_u64() {
                     Some(n) => n != 0,
-                    None => return Err("tuning.trace must be a boolean".to_string()),
+                    None => return Err(format!("tuning.{key} must be a boolean")),
                 },
-            });
+            };
+            if key == "trace" {
+                t.trace = Some(b);
+            } else {
+                t.adaptive_groups = Some(b);
+            }
             continue;
         }
         let int = value
@@ -427,6 +432,7 @@ report = "speedup"
 [tuning]
 mem_latency = 272
 backoff_cap = 4
+adaptive_groups = false
 
 [[workload]]
 name = "counter"
@@ -445,6 +451,7 @@ gather = 0
         assert_eq!(scn.scale, 2);
         assert_eq!(scn.tuning.mem_latency, Some(272));
         assert_eq!(scn.tuning.backoff_cap, Some(4));
+        assert_eq!(scn.tuning.adaptive_groups, Some(false));
         assert_eq!(scn.workloads.len(), 2);
         assert_eq!(scn.workloads[0].params.get_u64("total_incs"), Some(500));
         assert_eq!(scn.workloads[1].display(), "refcount w/o gather");

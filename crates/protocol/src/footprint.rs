@@ -41,6 +41,15 @@ pub struct Footprint {
     mem_lines: FxHashSet<u64>,
     /// Draws from the protocol's internal RNG.
     rng_draws: u64,
+    /// Per-core attribution of L3-set touches, recorded only when
+    /// [`Footprint::track_cores`] is on: `(requesting core, packed set
+    /// key)`. Feeds the epoch engine's footprint-adaptive partitioner.
+    per_core_l3: FxHashSet<(u32, u64)>,
+    /// The core whose step is currently executing (set by the scheduler).
+    actor: u32,
+    /// Whether per-core attribution is recorded. Off by default so serial
+    /// capture stretches don't pay the extra hash insert.
+    tracking_cores: bool,
 }
 
 impl Footprint {
@@ -54,6 +63,29 @@ impl Footprint {
         self.l3_sets.clear();
         self.mem_lines.clear();
         self.rng_draws = 0;
+        self.per_core_l3.clear();
+        self.actor = 0;
+        self.tracking_cores = false;
+    }
+
+    /// Additionally records which core each L3-set touch belongs to (call
+    /// after [`Footprint::reset`]; cleared by the next reset). The
+    /// attribution feeds the epoch engine's footprint-adaptive partitioner.
+    pub fn track_cores(&mut self) {
+        self.tracking_cores = true;
+    }
+
+    /// Declares the core whose accesses the following touches belong to.
+    /// A single store — callers may invoke it unconditionally per step.
+    #[inline]
+    pub fn set_actor(&mut self, core: usize) {
+        self.actor = core as u32;
+    }
+
+    /// Per-core L3-set attribution recorded under [`Footprint::track_cores`]:
+    /// `(core index, packed bank << 32 | set key)` pairs, unordered.
+    pub fn per_core_l3(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.per_core_l3.iter().map(|&(c, k)| (c as usize, k))
     }
 
     /// Disables capture, leaving the recorded contents readable.
@@ -83,7 +115,11 @@ impl Footprint {
         if !self.enabled {
             return;
         }
-        self.l3_sets.insert(((bank as u64) << 32) | set as u64);
+        let key = ((bank as u64) << 32) | set as u64;
+        self.l3_sets.insert(key);
+        if self.tracking_cores {
+            self.per_core_l3.insert((self.actor, key));
+        }
     }
 
     #[inline]
@@ -138,6 +174,7 @@ impl Footprint {
         self.l3_sets.extend(other.l3_sets.iter().copied());
         self.mem_lines.extend(other.mem_lines.iter().copied());
         self.rng_draws += other.rng_draws;
+        self.per_core_l3.extend(other.per_core_l3.iter().copied());
     }
 
     /// Whether the shared-structure parts (L3 sets, memory lines) of two

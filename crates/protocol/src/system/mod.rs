@@ -30,6 +30,18 @@ pub(crate) struct PrivCache {
     pub spec_lines: Vec<LineAddr>,
 }
 
+impl PrivCache {
+    /// Overwrites this cache pair to equal `src`, reusing existing
+    /// allocations (see [`CacheArray::copy_from`]). The epoch-parallel
+    /// commit path calls this once per touched core per epoch, so a plain
+    /// `clone()` here would be a steady stream of allocations.
+    pub fn absorb_from(&mut self, src: &Self) {
+        self.l1.copy_from(&src.l1);
+        self.l2.copy_from(&src.l2);
+        self.spec_lines.clone_from(&src.spec_lines);
+    }
+}
+
 /// Mutable bookkeeping for one in-flight access.
 #[derive(Debug, Default)]
 pub(crate) struct Acc {
@@ -54,8 +66,12 @@ impl Acc {
 /// See the crate docs for the model; the main entry point is
 /// [`MemSystem::access`].
 pub struct MemSystem {
-    pub(crate) cfg: ProtoConfig,
-    pub(crate) labels: LabelTable,
+    /// Configuration, shared read-only between the base system and its
+    /// epoch-worker clones (it never changes after construction, so a
+    /// worker spawn is a refcount bump instead of a deep copy).
+    pub(crate) cfg: std::sync::Arc<ProtoConfig>,
+    /// Label definitions, shared read-only like `cfg`.
+    pub(crate) labels: std::sync::Arc<LabelTable>,
     pub(crate) mem: MainMemory,
     pub(crate) l3: Vec<CacheArray<L3Meta>>,
     pub(crate) privs: Vec<PrivCache>,
@@ -122,8 +138,8 @@ impl MemSystem {
         // for structured capture instead).
         tracer.set_debug(std::env::var_os("COMMTM_TRACE").is_some());
         MemSystem {
-            cfg,
-            labels,
+            cfg: std::sync::Arc::new(cfg),
+            labels: std::sync::Arc::new(labels),
             mem: MainMemory::new(),
             l3,
             privs,
@@ -161,6 +177,31 @@ impl MemSystem {
         self.cap.disable();
     }
 
+    /// Enables per-core attribution of L3-set touches on the active capture
+    /// (see [`Footprint::track_cores`]). Engine support for the
+    /// footprint-adaptive group partitioner.
+    pub fn capture_track_cores(&mut self) {
+        self.cap.track_cores();
+    }
+
+    /// Declares which core the next captured touches belong to (engine
+    /// support — the scheduler calls this before stepping each core).
+    pub fn capture_actor(&mut self, core: usize) {
+        self.cap.set_actor(core);
+    }
+
+    /// Whether every L3 bank still shares its tag side-array allocation
+    /// with `other`'s (copy-on-write not yet triggered on either side).
+    /// Test support: asserts the epoch engine's zero-copy worker spawn.
+    pub fn l3_tags_shared_with(&self, other: &Self) -> bool {
+        self.l3.len() == other.l3.len()
+            && self
+                .l3
+                .iter()
+                .zip(other.l3.iter())
+                .all(|(a, b)| a.tags_shared_with(b))
+    }
+
     /// The current capture contents.
     pub fn footprint(&self) -> &Footprint {
         &self.cap
@@ -183,7 +224,7 @@ impl MemSystem {
         let copy = owned & fp.cores();
         for i in 0..self.cfg.cores.min(128) {
             if copy & (1u128 << i) != 0 {
-                self.privs[i] = src.privs[i].clone();
+                self.privs[i].absorb_from(&src.privs[i]);
                 let id = CoreId::new(i);
                 *self.stats.core_mut(id) = *src.stats.core(id);
             }

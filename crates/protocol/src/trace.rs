@@ -473,7 +473,10 @@ impl Tracer {
 
     /// A clone carrying the configuration (enabled/debug/capacity) but
     /// none of the buffered state — what a worker clone of the memory
-    /// system starts from.
+    /// system starts from. The event buffer is `Vec::new()`: no ring
+    /// allocation happens until the clone actually records an event, so
+    /// untraced epoch-worker spawns never pay for the ring
+    /// ([`Tracer::events_buffer_capacity`] asserts this in tests).
     pub fn config_clone(&self) -> Tracer {
         Tracer {
             enabled: self.enabled,
@@ -481,6 +484,12 @@ impl Tracer {
             capacity: self.capacity,
             ..Tracer::default()
         }
+    }
+
+    /// Allocated capacity of the event buffer, in events (test support:
+    /// proves untraced clones never allocate a ring).
+    pub fn events_buffer_capacity(&self) -> usize {
+        self.events.capacity()
     }
 }
 

@@ -1,0 +1,85 @@
+//! Zero-copy guarantees of `MemSystem::clone`, which the epoch-parallel
+//! engine calls once per worker: the L3 tag arrays (the dominant allocation
+//! at paper scale: 64K tag words per bank) must be shared copy-on-write,
+//! and the tracer clone must not allocate an event ring while tracing is
+//! off.
+
+use commtm_mem::{Addr, CoreId, LineData, WORDS_PER_LINE};
+use commtm_protocol::{LabelDef, LabelTable, MemOp, MemSystem, ProtoConfig, TxTable};
+
+fn sys(cores: usize) -> (MemSystem, TxTable) {
+    let mut t = LabelTable::new();
+    t.register(LabelDef::new("ADD", LineData::zeroed(), |_, dst, src| {
+        for i in 0..WORDS_PER_LINE {
+            dst[i] = dst[i].wrapping_add(src[i]);
+        }
+    }))
+    .unwrap();
+    (
+        MemSystem::new(ProtoConfig::paper_with_cores(cores), t),
+        TxTable::new(cores),
+    )
+}
+
+const A: Addr = Addr::new(0x1000);
+
+#[test]
+fn clone_shares_l3_tag_arrays_until_first_write() {
+    let (mut base, mut txs) = sys(4);
+    base.poke_word(A, 7);
+    // Warm the base so the arrays aren't trivially empty.
+    base.access(CoreId::new(0), MemOp::Load, A, &mut txs);
+
+    let mut clone = base.clone();
+    assert!(
+        base.l3_tags_shared_with(&clone),
+        "a fresh worker clone must share every L3 bank's tag array (refcount \
+         bump, no copy)"
+    );
+
+    // First L3-visible write on the clone detaches (copy-on-write) ...
+    let far = Addr::new(0x9_0000);
+    clone.poke_word(far, 1);
+    clone.access(CoreId::new(1), MemOp::Load, far, &mut txs);
+    assert!(
+        !base.l3_tags_shared_with(&clone),
+        "a write through the clone must detach its tag storage"
+    );
+    // ... without disturbing the base.
+    assert_eq!(base.logical_w0(A.line()), 7);
+}
+
+#[test]
+fn untraced_clone_allocates_no_event_ring() {
+    let (base, _) = sys(2);
+    assert!(!base.tracer().is_enabled());
+    let clone = base.clone();
+    assert_eq!(
+        clone.tracer().events_buffer_capacity(),
+        0,
+        "cloning an untraced system must not allocate a tracer ring buffer"
+    );
+}
+
+#[test]
+fn traced_clone_starts_with_an_empty_event_buffer() {
+    let (mut base, _) = sys(2);
+    base.tracer_mut().start("serial", 1, 2, "commtm", 0);
+    base.tracer_mut().step(CoreId::new(0), 1);
+    base.tracer_mut().begin(42);
+    assert!(
+        base.tracer().events_buffer_capacity() > 0,
+        "recording an event allocates the base's ring"
+    );
+
+    // Worker clones inherit the tracing *configuration* (so their events
+    // merge back comparably) but never the base's buffered events — and
+    // they don't pre-allocate a ring of their own.
+    let clone = base.clone();
+    assert!(clone.tracer().is_enabled());
+    assert_eq!(
+        clone.tracer().events_buffer_capacity(),
+        0,
+        "clone must defer ring allocation until its first recorded event"
+    );
+}

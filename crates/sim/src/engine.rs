@@ -110,7 +110,7 @@ pub trait Engine: Send + Sync {
 /// when `machine_threads > 1`, else the serial reference engine.
 pub fn for_config(cfg: &MachineConfig) -> Box<dyn Engine> {
     if cfg.machine_threads > 1 {
-        Box::new(EpochEngine::new(cfg.machine_threads))
+        Box::new(EpochEngine::new(cfg.machine_threads).with_adaptive(cfg.adaptive_groups))
     } else {
         Box::new(SerialEngine)
     }
@@ -176,6 +176,9 @@ fn run_min_clock(
         // identical to push-then-pop scheduling — the heap would hand the
         // same core straight back — but the common uncontended case skips
         // the heap traffic entirely.
+        // Attribute the following touches to this core (feeds the epoch
+        // engine's footprint-adaptive partitioner; a single store).
+        sys.capture_actor(idx);
         loop {
             let core = &mut *cores[pos_of[idx]].1;
             let result = core.step(sys, txs, &cfg.htm, ts, &mut events);
@@ -300,14 +303,27 @@ pub struct EpochEngine {
     /// Worker threads stepping core groups concurrently (≥ 2 to engage;
     /// a single worker degenerates to the serial engine).
     pub threads: usize,
+    /// Regroup cores by observed L3-set footprints (see
+    /// [`adaptive_partition`]); `false` pins the contiguous grouping.
+    pub adaptive: bool,
 }
 
 impl EpochEngine {
-    /// An engine with `threads` workers and default epoch bounds.
+    /// An engine with `threads` workers, default epoch bounds, and
+    /// footprint-adaptive core grouping.
     pub fn new(threads: usize) -> Self {
         EpochEngine {
             threads: threads.max(1),
+            adaptive: true,
         }
+    }
+
+    /// Enables or disables footprint-adaptive core grouping (results are
+    /// identical either way; grouping only changes conflict rates and
+    /// therefore host time).
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
     }
 }
 
@@ -338,7 +354,11 @@ fn install_quiet_speculation_hook() {
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !SPECULATING.with(std::cell::Cell::get) {
+            // `panics_quiet` covers block-suspension helper threads spawned
+            // from a speculating worker: their closure panics are forwarded
+            // to (and caught on) the worker thread, so they are just as
+            // expected — and just as silent — as direct speculative panics.
+            if !SPECULATING.with(std::cell::Cell::get) && !commtm_tx::panics_quiet() {
                 previous(info);
             }
         }));
@@ -354,6 +374,7 @@ struct EngineStats {
     serial_stretches: u64,
     clone_builds: u64,
     heals: u64,
+    repartitions: u64,
     spec_ms: f64,
     replay_ms: f64,
     serial_ms: f64,
@@ -377,17 +398,20 @@ impl Engine for EpochEngine {
             "footprint core masks cap the architecture at 128 cores"
         );
 
-        // Fixed contiguous core → worker assignment for the whole run.
-        // Stability matters: a worker's clone only keeps *its own* cores'
-        // private caches fresh, so ownership must never migrate.
-        let worker_of: Vec<usize> = (0..ncores).map(|i| i * nworkers / ncores).collect();
-        let owned_mask: Vec<u128> = (0..nworkers)
-            .map(|w| {
-                (0..ncores)
-                    .filter(|&i| worker_of[i] == w)
-                    .fold(0u128, |m, i| m | (1u128 << i))
-            })
-            .collect();
+        // Core → worker assignment, starting contiguous and (optionally)
+        // regrouped from committed-epoch footprints later. Stability
+        // matters between regroupings: a worker's clone only keeps *its
+        // own* cores' private caches fresh, so any ownership migration
+        // must also drop the clones (see the repartition block below).
+        let mut worker_of: Vec<usize> = (0..ncores).map(|i| i * nworkers / ncores).collect();
+        let mut owned_mask: Vec<u128> = masks_for(&worker_of, nworkers);
+        // Per-core L3-set keys from a sliding window of committed epochs,
+        // feeding the adaptive partitioner; plus a commit-count cooldown
+        // so grouping changes (which drop the clones) can't thrash.
+        const PARTITION_WINDOW: usize = 4;
+        let mut fp_history: std::collections::VecDeque<Vec<Vec<u64>>> =
+            std::collections::VecDeque::new();
+        let mut partition_cooldown = 0usize;
 
         let all_mask: u128 = if ncores == 128 {
             u128::MAX
@@ -427,8 +451,8 @@ impl Engine for EpochEngine {
                 if engine_stats_enabled() {
                     eprintln!(
                         "[engine] cores={} workers={} attempts={} commits={} fallbacks={} \
-                         stretches={} clones={} heals={} spec={:.1}ms replay={:.1}ms \
-                         serial={:.1}ms sync={:.1}ms",
+                         stretches={} clones={} heals={} repartitions={} spec={:.1}ms \
+                         replay={:.1}ms serial={:.1}ms sync={:.1}ms",
                         ncores,
                         nworkers,
                         st.attempts,
@@ -437,6 +461,7 @@ impl Engine for EpochEngine {
                         st.serial_stretches,
                         st.clone_builds,
                         st.heals,
+                        st.repartitions,
                         st.spec_ms,
                         st.replay_ms,
                         st.serial_ms,
@@ -556,8 +581,14 @@ impl Engine for EpochEngine {
                     .enumerate()
                     .map(|(w, (mut cores, mut sys))| {
                         let owned = owned_mask[w];
+                        let adaptive = self.adaptive;
                         scope.spawn(move || {
                             sys.capture_reset(owned);
+                            if adaptive {
+                                // Record which core touched which L3 set,
+                                // for the footprint-adaptive partitioner.
+                                sys.capture_track_cores();
+                            }
                             // A kept clone may still hold trace events from
                             // a conflicted (discarded) attempt; the serial
                             // replay re-recorded those steps on the base.
@@ -570,6 +601,9 @@ impl Engine for EpochEngine {
                             // poisoned clone and cores are discarded /
                             // restored by the conflict path.
                             SPECULATING.with(|f| f.set(true));
+                            // Propagate quietness to block-suspension
+                            // helpers spawned by this worker's cores.
+                            commtm_tx::set_quiet_panics(true);
                             let caught =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     run_min_clock(
@@ -577,6 +611,7 @@ impl Engine for EpochEngine {
                                     )
                                 }));
                             SPECULATING.with(|f| f.set(false));
+                            commtm_tx::set_quiet_panics(false);
                             sys.capture_disable();
                             match caught {
                                 Ok(out) => {
@@ -755,13 +790,65 @@ impl Engine for EpochEngine {
             let mut kept: Vec<MemSystem> = outs.into_iter().map(|o| o.sys).collect();
             let footprints: Vec<commtm_protocol::Footprint> =
                 kept.iter().map(|s| s.footprint().clone()).collect();
-            for clone in &mut kept {
+
+            // Feed this committed epoch's per-core L3 attribution into the
+            // partitioner window and regroup if the observed sharing
+            // structure disagrees with the current grouping. Committed
+            // epochs are byte-identical to the serial execution, so this
+            // decision is deterministic and cannot change results — only
+            // how often future epochs conflict.
+            let mut repartitioned = false;
+            if self.adaptive {
+                let mut per_core: Vec<Vec<u64>> = vec![Vec::new(); ncores];
                 for fp in &footprints {
-                    clone.absorb_worker(m.sys, fp, 0);
+                    for (c, k) in fp.per_core_l3() {
+                        per_core[c].push(k);
+                    }
                 }
-                clone.adopt_rng(m.sys);
+                fp_history.push_back(per_core);
+                if fp_history.len() > PARTITION_WINDOW {
+                    fp_history.pop_front();
+                }
+                if partition_cooldown > 0 {
+                    partition_cooldown -= 1;
+                } else {
+                    let merged: Vec<Vec<u64>> = (0..ncores)
+                        .map(|c| {
+                            let mut keys = commtm_mem::FxHashSet::<u64>::default();
+                            for epoch in &fp_history {
+                                keys.extend(epoch[c].iter().copied());
+                            }
+                            keys.into_iter().collect()
+                        })
+                        .collect();
+                    if let Some(part) = adaptive_partition(&merged, nworkers) {
+                        if part != worker_of {
+                            worker_of = part;
+                            owned_mask = masks_for(&worker_of, nworkers);
+                            partition_cooldown = PARTITION_WINDOW;
+                            st.repartitions += 1;
+                            repartitioned = true;
+                        }
+                    }
+                }
             }
-            clones = Some(kept);
+
+            if repartitioned {
+                // Ownership migrated: each kept clone keeps only its *old*
+                // cores' private caches fresh, so none can be trusted
+                // under the new grouping. Drop them all; the next attempt
+                // re-clones from the base (cheap now that the L3 tag
+                // arrays are shared copy-on-write).
+                clones = None;
+            } else {
+                for clone in &mut kept {
+                    for fp in &footprints {
+                        clone.absorb_worker(m.sys, fp, 0);
+                    }
+                    clone.adopt_rng(m.sys);
+                }
+                clones = Some(kept);
+            }
             st.sync_ms += t_sync.elapsed().as_secs_f64() * 1e3;
 
             hold_cycles = 0;
@@ -769,6 +856,100 @@ impl Engine for EpochEngine {
             epoch_len = (epoch_len * 2).min(EPOCH_MAX);
         }
     }
+}
+
+/// Computes a footprint-adaptive core → worker assignment.
+///
+/// `per_core[c]` lists the packed `bank << 32 | set` L3 keys core `c`
+/// touched over a recent window of *committed* epochs (committed-epoch
+/// data is byte-identical to the serial execution, so the partition
+/// evolution is deterministic). Cores sharing any key are joined into a
+/// cluster — stepping them under different workers would make the
+/// workers' L3 footprints overlap and conflict the epoch — and clusters
+/// are then spread largest-first onto the least-loaded of `nworkers`
+/// groups. Returns `None` when fewer than two clusters exist (every core
+/// entangled: no grouping can speculate usefully), so callers keep their
+/// current grouping.
+///
+/// The result is canonical: groups are numbered in first-appearance order
+/// by core index, so equal groupings always compare equal.
+pub fn adaptive_partition(per_core: &[Vec<u64>], nworkers: usize) -> Option<Vec<usize>> {
+    let ncores = per_core.len();
+    if nworkers < 2 || ncores < 2 {
+        return None;
+    }
+    // Union-find over cores; path-halving find.
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut parent: Vec<usize> = (0..ncores).collect();
+    let mut owner = commtm_mem::FxHashMap::<u64, usize>::default();
+    for (c, keys) in per_core.iter().enumerate() {
+        for &k in keys {
+            match owner.entry(k) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let a = find(&mut parent, c);
+                    let b = find(&mut parent, *o.get());
+                    // Smaller root wins, keeping roots independent of the
+                    // key iteration order.
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi] = lo;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(c);
+                }
+            }
+        }
+    }
+    // Gather clusters; member lists ascend because cores are scanned in
+    // index order.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); ncores];
+    for c in 0..ncores {
+        let r = find(&mut parent, c);
+        members[r].push(c);
+    }
+    let mut clusters: Vec<Vec<usize>> = members.into_iter().filter(|m| !m.is_empty()).collect();
+    if clusters.len() < 2 {
+        return None;
+    }
+    // Deterministic greedy bin-pack: largest cluster first (ties by
+    // smallest member) onto the least-loaded group (ties by index).
+    clusters.sort_by_key(|m| (Reverse(m.len()), m[0]));
+    let mut load = vec![0usize; nworkers];
+    let mut part = vec![0usize; ncores];
+    for m in &clusters {
+        let w = (0..nworkers)
+            .min_by_key(|&w| (load[w], w))
+            .expect("nworkers >= 2");
+        load[w] += m.len();
+        for &c in m {
+            part[c] = w;
+        }
+    }
+    // Canonicalize group numbering by first appearance.
+    let mut relabel = vec![usize::MAX; nworkers];
+    let mut next = 0;
+    for p in &mut part {
+        if relabel[*p] == usize::MAX {
+            relabel[*p] = next;
+            next += 1;
+        }
+        *p = relabel[*p];
+    }
+    Some(part)
+}
+
+/// Owned-core bitmasks for a core → worker assignment.
+fn masks_for(worker_of: &[usize], nworkers: usize) -> Vec<u128> {
+    let mut masks = vec![0u128; nworkers];
+    for (i, &w) in worker_of.iter().enumerate() {
+        masks[w] |= 1u128 << i;
+    }
+    masks
 }
 
 fn pairwise_disjoint(outs: &[WorkerOut]) -> bool {

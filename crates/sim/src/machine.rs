@@ -29,6 +29,12 @@ pub struct MachineConfig {
     /// engine with that many workers. Results are byte-identical either
     /// way; only wall-clock time changes.
     pub machine_threads: usize,
+    /// Lets the epoch-parallel engine regroup cores by their observed
+    /// L3-set footprints (committed epochs only, so the input — like the
+    /// results — is engine-independent and deterministic). `false` pins
+    /// the fixed contiguous core → worker assignment. No effect on the
+    /// serial engine or on results; host performance only.
+    pub adaptive_groups: bool,
     /// Structured per-transaction tracing (see [`commtm_protocol::trace`]).
     /// Observation-only: results are byte-identical with tracing on or
     /// off. The finished [`Trace`] is taken with [`Machine::take_trace`].
@@ -46,6 +52,7 @@ impl MachineConfig {
             seed: 0x5EED,
             max_cycles: u64::MAX,
             machine_threads: 1,
+            adaptive_groups: true,
             trace: false,
         }
     }
@@ -96,6 +103,9 @@ impl MachineConfig {
         if let Some(v) = t.machine_threads {
             self.machine_threads = v.max(1);
         }
+        if let Some(v) = t.adaptive_groups {
+            self.adaptive_groups = v;
+        }
         if let Some(v) = t.trace {
             self.trace = v;
         }
@@ -132,6 +142,9 @@ pub struct Tuning {
     /// Host threads stepping each machine (engine selection; results are
     /// engine-independent).
     pub machine_threads: Option<usize>,
+    /// Footprint-adaptive core grouping in the epoch engine (results are
+    /// grouping-independent; see [`MachineConfig::adaptive_groups`]).
+    pub adaptive_groups: Option<bool>,
     /// Structured per-transaction tracing (observation-only; see
     /// [`MachineConfig::trace`]).
     pub trace: Option<bool>,

@@ -143,8 +143,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The headline property: serial and epoch-parallel engines agree
-    /// byte-for-byte on randomized program mixes, under both schemes and
-    /// several worker counts.
+    /// byte-for-byte on randomized program mixes, under both schemes,
+    /// several worker counts, and both core-grouping policies
+    /// (footprint-adaptive and fixed contiguous).
     #[test]
     fn epoch_parallel_matches_serial(
         plans in proptest::collection::vec(plan_strategy(), 2..9),
@@ -154,18 +155,85 @@ proptest! {
         for scheme in [Scheme::CommTm, Scheme::Baseline] {
             let (serial_report, serial_vals) =
                 run_under(scheme, &plans, seed, &SerialEngine);
-            let (epoch_report, epoch_vals) =
-                run_under(scheme, &plans, seed, &EpochEngine::new(workers));
-            prop_assert_eq!(
-                &serial_report,
-                &epoch_report,
-                "reports diverged under {:?} with {} workers",
-                scheme,
-                workers
-            );
-            prop_assert_eq!(&serial_vals, &epoch_vals);
+            for adaptive in [true, false] {
+                let engine = EpochEngine::new(workers).with_adaptive(adaptive);
+                let (epoch_report, epoch_vals) =
+                    run_under(scheme, &plans, seed, &engine);
+                prop_assert_eq!(
+                    &serial_report,
+                    &epoch_report,
+                    "reports diverged under {:?} with {} workers (adaptive={})",
+                    scheme,
+                    workers,
+                    adaptive
+                );
+                prop_assert_eq!(&serial_vals, &epoch_vals);
+            }
         }
     }
+
+    /// The pure partitioner keeps its contract on arbitrary footprint
+    /// histories: canonical labels, every core assigned within range,
+    /// cores sharing an L3-set key always grouped together, and full
+    /// determinism (it feeds engine scheduling, so any instability would
+    /// make host-side behavior timing-dependent).
+    #[test]
+    fn adaptive_partitioner_properties(
+        per_core in proptest::collection::vec(
+            proptest::collection::vec(0u64..12, 0..6), 2..10),
+        workers in 2usize..5,
+    ) {
+        let part = commtm_sim::adaptive_partition(&per_core, workers);
+        let again = commtm_sim::adaptive_partition(&per_core, workers);
+        prop_assert_eq!(&part, &again, "partitioner must be deterministic");
+        let Some(part) = part else {
+            // Fallback is only allowed when everything is entangled into
+            // fewer than two clusters.
+            return Ok(());
+        };
+        prop_assert_eq!(part.len(), per_core.len());
+        // Labels are canonical: first appearance order, no gaps.
+        let mut seen_max = 0usize;
+        for &p in &part {
+            prop_assert!(p < workers);
+            prop_assert!(p <= seen_max, "labels must appear in order");
+            seen_max = seen_max.max(p + 1);
+        }
+        prop_assert!(seen_max >= 2, "a usable partition has >= 2 groups");
+        // Cores sharing any key must share a group (splitting them would
+        // guarantee overlapping worker footprints).
+        for a in 0..per_core.len() {
+            for b in a + 1..per_core.len() {
+                if per_core[a].iter().any(|k| per_core[b].contains(k)) {
+                    prop_assert_eq!(
+                        part[a], part[b],
+                        "cores {} and {} share an L3 set but were split", a, b
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Hand-checkable partitioner cases: interleaved sharing pairs regroup
+/// into clusters, fully-entangled inputs fall back.
+#[test]
+fn adaptive_partition_fixed_cases() {
+    use commtm_sim::adaptive_partition;
+    // Cores 0+2 share set 5, cores 1+3 share set 9 — exactly the layout
+    // the contiguous grouping {0,1} | {2,3} gets wrong every epoch.
+    let per_core = vec![vec![5], vec![9], vec![5, 6], vec![9, 7]];
+    assert_eq!(adaptive_partition(&per_core, 2), Some(vec![0, 1, 0, 1]));
+    // All cores transitively share one set: no useful grouping exists.
+    let tangled = vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![4]];
+    assert_eq!(adaptive_partition(&tangled, 2), None);
+    // Untouched cores are free singletons and balance the load.
+    let sparse = vec![vec![], vec![], vec![8], vec![8]];
+    let part = adaptive_partition(&sparse, 2).expect("partitionable");
+    assert_eq!(part[2], part[3], "sharing cores stay together");
+    assert_eq!(part.len(), 4);
+    // Fewer than two workers can never partition.
+    assert_eq!(adaptive_partition(&per_core, 1), None);
 }
 
 /// A fixed high-contention case (every thread hammers the same plain

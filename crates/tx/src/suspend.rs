@@ -1,0 +1,226 @@
+//! Suspension-based resumable block execution.
+//!
+//! Replay ([`crate::BlockRunner`]) re-enters a block closure from the top
+//! on every scheduler step, so an N-operation block costs O(N²) host work:
+//! the closure's own code before the blocking point re-executes every
+//! pass. Plain Rust closures cannot be paused mid-body, so past a
+//! configurable log length the runner moves the closure to a dedicated
+//! *helper thread* and turns it into a coroutine: the helper replays the
+//! existing log once (memoized, no real memory traffic), then parks inside
+//! its memory port at each new operation. The engine thread answers one
+//! operation per scheduler step, preserving the replay path's
+//! single-operation interleaving granularity — and every operation now
+//! executes at most twice (once live, once as log replay after a
+//! checkpoint restore) instead of once per remaining pass.
+//!
+//! Cycle accounting is kept bit-identical to the replay path: each
+//! operation request carries the closure's cumulative [`TxCtx::work`]
+//! count at the request point, which is exactly the `work_seen` a replay
+//! pass would have reported when it blocked there.
+//!
+//! The helper holds *copies* of the environment and log; the engine-side
+//! log stays authoritative, so checkpointing a core mid-block still works
+//! — a cloned runner simply has no suspension and respawns one (replaying
+//! the log prefix once) when stepped again.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::mpsc::{Receiver, Sender};
+
+use crate::ctx::TxCtx;
+use crate::program::BlockFn;
+use crate::runner::{Env, LogEntry, MemPort, OpResult, TxOp};
+
+thread_local! {
+    /// Whether block-closure panics on this thread (and on helper threads
+    /// spawned from it) are an expected speculation outcome. Speculative
+    /// schedulers set this around speculative stepping so their
+    /// quiet-panic hooks can also silence helper-thread panics, which
+    /// would otherwise print before the payload is forwarded to (and
+    /// caught on) the engine thread.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks block-closure panics on the current thread — and on suspension
+/// helpers it spawns — as expected speculation outcomes (see
+/// [`panics_quiet`]).
+pub fn set_quiet_panics(quiet: bool) {
+    QUIET_PANICS.with(|c| c.set(quiet));
+}
+
+/// Whether the current thread is marked quiet (for panic-hook filtering).
+pub fn panics_quiet() -> bool {
+    QUIET_PANICS.with(Cell::get)
+}
+
+/// Engine-thread → helper messages.
+pub(crate) enum Cmd {
+    /// The result value of the operation (or random draw) the helper is
+    /// parked on.
+    Value(u64),
+    /// The operation aborted the enclosing transaction; the helper's
+    /// context goes satiated and the closure runs out.
+    Abort,
+}
+
+/// Helper → engine-thread messages.
+pub(crate) enum Req {
+    /// The closure needs a new memory operation performed. `work` is the
+    /// cumulative [`TxCtx::work`] count at the request point.
+    Op { op: TxOp, work: u64 },
+    /// The closure needs a new random draw (logged, does not end a step).
+    Rand,
+    /// The closure ran to completion; `env` carries the final registers
+    /// and user state (deferred actions already applied).
+    Done { work: u64, env: Env },
+    /// The closure panicked; the payload is re-raised on the engine
+    /// thread so speculation-catching and test behavior match the replay
+    /// path.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The helper-side memory port: forwards each new operation or random
+/// draw to the engine thread and parks until the result arrives.
+struct ProxyPort {
+    req_tx: Sender<Req>,
+    cmd_rx: Receiver<Cmd>,
+    work: u64,
+}
+
+impl ProxyPort {
+    fn round_trip(&mut self, req: Req) -> Option<u64> {
+        if self.req_tx.send(req).is_err() {
+            // Engine side gone (runner dropped mid-block): wind down.
+            return None;
+        }
+        match self.cmd_rx.recv() {
+            Ok(Cmd::Value(v)) => Some(v),
+            Ok(Cmd::Abort) | Err(_) => None,
+        }
+    }
+}
+
+impl MemPort for ProxyPort {
+    fn op(&mut self, op: TxOp) -> OpResult {
+        match self.round_trip(Req::Op {
+            op,
+            work: self.work,
+        }) {
+            Some(value) => OpResult {
+                value,
+                // Latency is charged on the engine side, where the real
+                // port reported it; the helper context's copy is unused.
+                latency: 0,
+                aborted: false,
+            },
+            None => OpResult {
+                value: 0,
+                latency: 0,
+                aborted: true,
+            },
+        }
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.round_trip(Req::Rand).unwrap_or(0)
+    }
+
+    fn work(&mut self, cycles: u64) {
+        self.work += cycles;
+    }
+}
+
+/// An in-flight block execution parked on a helper thread.
+#[derive(Debug)]
+pub(crate) struct Suspension {
+    cmd_tx: Sender<Cmd>,
+    req_rx: Receiver<Req>,
+    join: Option<std::thread::JoinHandle<()>>,
+    /// An operation request received ahead of its scheduler step (the
+    /// helper runs ahead by exactly one request so the engine can detect
+    /// step boundaries).
+    pub(crate) pending: Option<(TxOp, u64)>,
+}
+
+impl Suspension {
+    /// Starts a helper thread that replays `log` against copies of the
+    /// block's environment and then streams new operations back one at a
+    /// time.
+    pub(crate) fn spawn(body: &BlockFn, env: &Env, log: &[LogEntry]) -> Suspension {
+        let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<Cmd>();
+        let (req_tx, req_rx) = std::sync::mpsc::channel::<Req>();
+        let body = body.clone();
+        let mut env = env.clone();
+        let mut log: Vec<LogEntry> = log.to_vec();
+        let quiet = panics_quiet();
+        let join = std::thread::Builder::new()
+            .name("commtm-block-helper".into())
+            .spawn(move || {
+                set_quiet_panics(quiet);
+                let mut port = ProxyPort {
+                    req_tx,
+                    cmd_rx,
+                    work: 0,
+                };
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = TxCtx::new_streaming(&mut log, &mut env, &mut port);
+                    body(&mut ctx);
+                    ctx.finish()
+                }));
+                match caught {
+                    Ok(pass) => {
+                        if !pass.aborted {
+                            for d in pass.defers {
+                                d(env.user_any_mut());
+                            }
+                            let _ = port.req_tx.send(Req::Done {
+                                work: pass.work_seen,
+                                env,
+                            });
+                        }
+                        // Aborted: the engine already returned; just exit.
+                    }
+                    Err(payload) => {
+                        let _ = port.req_tx.send(Req::Panicked(payload));
+                    }
+                }
+            })
+            .expect("spawn block helper thread");
+        Suspension {
+            cmd_tx,
+            req_rx,
+            join: Some(join),
+            pending: None,
+        }
+    }
+
+    /// Delivers an operation (or random-draw) result to the parked helper.
+    pub(crate) fn send_value(&self, value: u64) {
+        // A send can only fail if the helper died, which surfaces as a
+        // `Panicked` (or disconnect) on the next receive.
+        let _ = self.cmd_tx.send(Cmd::Value(value));
+    }
+
+    /// Waits for the helper's next request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the helper thread died without reporting (a bug — closure
+    /// panics are forwarded as [`Req::Panicked`]).
+    pub(crate) fn recv(&self) -> Req {
+        self.req_rx
+            .recv()
+            .expect("block helper thread died without reporting")
+    }
+}
+
+impl Drop for Suspension {
+    fn drop(&mut self) {
+        // Unpark the helper (whether it waits on a value or has already
+        // finished) and wait it out so no thread outlives its runner.
+        let _ = self.cmd_tx.send(Cmd::Abort);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}

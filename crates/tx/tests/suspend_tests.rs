@@ -1,0 +1,289 @@
+//! Tests of the suspension escalation: past the resume threshold a block
+//! moves to a helper thread and each operation executes at most twice,
+//! while outcomes, cycle counts, and port call sequences stay bit-identical
+//! to the replay path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use commtm_mem::Addr;
+use commtm_tx::{BlockFn, BlockRunner, Env, MemPort, OpResult, StepOutcome, TxOp};
+
+/// A mock memory: flat word map, per-op latency echoing the op index,
+/// scriptable aborts. `Clone` so tests can checkpoint it alongside a
+/// runner, the way the epoch engine snapshots a core.
+#[derive(Clone, Default)]
+struct MockPort {
+    mem: HashMap<u64, u64>,
+    ops: Vec<TxOp>,
+    abort_on_op: Option<usize>,
+    rng_next: u64,
+}
+
+impl MemPort for MockPort {
+    fn op(&mut self, op: TxOp) -> OpResult {
+        let n = self.ops.len();
+        self.ops.push(op);
+        if self.abort_on_op == Some(n) {
+            return OpResult {
+                value: 0,
+                latency: 3,
+                aborted: true,
+            };
+        }
+        let value = match op {
+            TxOp::Load(a) | TxOp::LoadL(_, a) | TxOp::Gather(_, a) => {
+                *self.mem.get(&a.raw()).unwrap_or(&0)
+            }
+            TxOp::Store(a, v) | TxOp::StoreL(_, a, v) => {
+                self.mem.insert(a.raw(), v);
+                v
+            }
+        };
+        OpResult {
+            value,
+            // Varying latency so cycle-equivalence checks are not vacuous.
+            latency: (n as u64) % 5,
+            aborted: false,
+        }
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.rng_next += 1;
+        self.rng_next
+    }
+}
+
+fn body(f: impl Fn(&mut commtm_tx::TxCtx<'_, '_>) + Send + Sync + 'static) -> BlockFn {
+    Arc::new(f)
+}
+
+/// A block of `n` dependent load/store pairs with interleaved work and
+/// randomness — enough structure to expose any accounting divergence.
+fn chain_block(n: u64, entries: Arc<AtomicUsize>) -> BlockFn {
+    body(move |t| {
+        entries.fetch_add(1, Ordering::Relaxed);
+        let mut acc = 0u64;
+        for i in 0..n {
+            t.work(2);
+            let a = Addr::new(0x1000 + 8 * i);
+            let v = t.load(a);
+            acc = acc.wrapping_add(v ^ t.rand());
+            t.store(Addr::new(0x8000 + 8 * i), acc);
+        }
+        t.work(7);
+        t.set_reg(0, acc);
+        t.defer(move |sum: &mut u64| *sum += 1);
+    })
+}
+
+/// Steps `blk` to its first terminal outcome, recording every step.
+fn run_to_end(
+    blk: &BlockFn,
+    env: &mut Env,
+    port: &mut MockPort,
+    runner: &mut BlockRunner,
+) -> Vec<StepOutcome> {
+    let mut outs = Vec::new();
+    loop {
+        let out = runner.step(blk, env, port);
+        outs.push(out);
+        if !matches!(out, StepOutcome::Yield { .. }) {
+            return outs;
+        }
+    }
+}
+
+#[test]
+fn suspension_bounds_closure_reexecution() {
+    const N: u64 = 40;
+    const THRESHOLD: usize = 8;
+    let entries = Arc::new(AtomicUsize::new(0));
+    let blk = chain_block(N, entries.clone());
+    let mut port = MockPort::default();
+    for i in 0..N {
+        port.mem.insert(0x1000 + 8 * i, 100 + i);
+    }
+    let mut env = Env::new(1, 0u64);
+    let mut runner = BlockRunner::new();
+    runner.set_resume_threshold(THRESHOLD);
+    let outs = run_to_end(&blk, &mut env, &mut port, &mut runner);
+    assert!(matches!(outs.last(), Some(StepOutcome::Done { .. })));
+    // Every operation hit the port exactly once (2 ops + 1 logged rand per
+    // iteration; rands don't reach `ops`).
+    assert_eq!(port.ops.len(), 2 * N as usize);
+    // Replay re-enters the closure once per pass until the log passes the
+    // threshold (THRESHOLD log entries = first few passes), after which a
+    // single helper execution finishes the block. Pure replay would need
+    // one entry per operation (2N = 80).
+    let entered = entries.load(Ordering::Relaxed);
+    assert!(
+        entered <= THRESHOLD + 2,
+        "expected bounded re-execution, closure entered {entered} times"
+    );
+    assert_eq!(*env.user::<u64>(), 1, "defers apply exactly once");
+}
+
+#[test]
+fn suspension_matches_replay_bit_for_bit() {
+    const N: u64 = 25;
+    let mk_port = || {
+        let mut p = MockPort::default();
+        for i in 0..N {
+            p.mem.insert(0x1000 + 8 * i, 0xAB00 + i);
+        }
+        p
+    };
+
+    let run = |threshold: usize| {
+        let blk = chain_block(N, Arc::new(AtomicUsize::new(0)));
+        let mut port = mk_port();
+        let mut env = Env::new(1, 0u64);
+        let mut runner = BlockRunner::new();
+        runner.set_resume_threshold(threshold);
+        let outs = run_to_end(&blk, &mut env, &mut port, &mut runner);
+        (outs, env, port)
+    };
+
+    let (ref_outs, ref_env, ref_port) = run(usize::MAX); // pure replay
+    for threshold in [0, 1, 7, 30] {
+        let (outs, env, port) = run(threshold);
+        assert_eq!(outs, ref_outs, "step outcomes diverge at t={threshold}");
+        assert_eq!(env.regs, ref_env.regs);
+        assert_eq!(env.user::<u64>(), ref_env.user::<u64>());
+        assert_eq!(port.ops, ref_port.ops, "port op order diverges");
+        assert_eq!(port.mem, ref_port.mem);
+        assert_eq!(port.rng_next, ref_port.rng_next, "rng draw count diverges");
+    }
+}
+
+#[test]
+fn suspension_abort_matches_replay() {
+    const N: u64 = 20;
+    let run = |threshold: usize| {
+        let blk = chain_block(N, Arc::new(AtomicUsize::new(0)));
+        let mut port = MockPort {
+            abort_on_op: Some(17),
+            ..MockPort::default()
+        };
+        let mut env = Env::new(1, 0u64);
+        let mut runner = BlockRunner::new();
+        runner.set_resume_threshold(threshold);
+        let outs = run_to_end(&blk, &mut env, &mut port, &mut runner);
+        runner.reset(); // must tear the helper down cleanly
+        (outs, env, port)
+    };
+    let (ref_outs, ref_env, ref_port) = run(usize::MAX);
+    assert!(matches!(ref_outs.last(), Some(StepOutcome::Abort { .. })));
+    for threshold in [0, 5] {
+        let (outs, env, port) = run(threshold);
+        assert_eq!(outs, ref_outs, "abort outcomes diverge at t={threshold}");
+        assert_eq!(env.regs, ref_env.regs, "abort must not leak registers");
+        assert_eq!(*env.user::<u64>(), 0, "abort must not run defers");
+        assert_eq!(port.ops, ref_port.ops);
+    }
+}
+
+#[test]
+fn checkpoint_clone_resumes_without_reissuing_ops() {
+    const N: u64 = 30;
+    let entries = Arc::new(AtomicUsize::new(0));
+    let blk = chain_block(N, entries.clone());
+    let mut port = MockPort::default();
+    for i in 0..N {
+        port.mem.insert(0x1000 + 8 * i, 7 * i);
+    }
+    let mut env = Env::new(1, 0u64);
+    let mut runner = BlockRunner::new();
+    runner.set_resume_threshold(4);
+
+    // Run partway (well past the threshold, so a suspension is live).
+    for _ in 0..40 {
+        assert!(matches!(
+            runner.step(&blk, &mut env, &mut port),
+            StepOutcome::Yield { .. }
+        ));
+    }
+    // Checkpoint, the way the epoch engine snapshots a core mid-block.
+    let mut saved_runner = runner.clone();
+    let mut saved_env = env.clone();
+    let mut saved_port = port.clone();
+    let ops_at_checkpoint = port.ops.len();
+
+    // Original continues to completion.
+    let outs = run_to_end(&blk, &mut env, &mut port, &mut runner);
+
+    // Restored copy continues to completion too, with the restore hint.
+    saved_runner.resume_hint();
+    let entries_before = entries.load(Ordering::Relaxed);
+    let saved_outs = run_to_end(&blk, &mut saved_env, &mut saved_port, &mut saved_runner);
+
+    assert_eq!(saved_outs, outs, "restored runner must replay identically");
+    assert_eq!(saved_env.regs, env.regs);
+    assert_eq!(saved_port.mem, port.mem);
+    // The restored copy re-issues only post-checkpoint operations: logged
+    // ones replay from the log, not the port.
+    assert_eq!(
+        saved_port.ops.len() - ops_at_checkpoint,
+        port.ops.len() - ops_at_checkpoint
+    );
+    // With the hint, the restored copy enters the closure exactly once
+    // (one helper execution covers the whole remainder).
+    assert_eq!(
+        entries.load(Ordering::Relaxed) - entries_before,
+        1,
+        "hinted restore should resume via a single suspension"
+    );
+}
+
+#[test]
+fn suspension_panic_reaches_the_engine_thread() {
+    let blk = body(|t| {
+        for i in 0..10 {
+            t.load(Addr::new(0x1000 + 8 * i));
+        }
+        panic!("closure exploded");
+    });
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, ());
+    let mut runner = BlockRunner::new();
+    runner.set_resume_threshold(0);
+    commtm_tx::set_quiet_panics(true);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut outs = Vec::new();
+        loop {
+            outs.push(runner.step(&blk, &mut env, &mut port));
+        }
+    }));
+    commtm_tx::set_quiet_panics(false);
+    let payload = caught.expect_err("closure panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "closure exploded");
+    // The runner stays usable after a reset.
+    runner.reset();
+    let ok = body(|t| {
+        t.store(Addr::new(0x42), 1);
+    });
+    assert!(matches!(
+        runner.step(&ok, &mut env, &mut port),
+        StepOutcome::Done { .. }
+    ));
+}
+
+#[test]
+fn dropping_a_live_suspension_joins_the_helper() {
+    // A runner dropped mid-block (simulation ends, core discarded) must
+    // wind its helper down rather than leak a parked thread. The test
+    // passing at all (no hang under `cargo test`) is the assertion; the
+    // explicit drop keeps the sequence obvious.
+    let blk = chain_block(50, Arc::new(AtomicUsize::new(0)));
+    let mut port = MockPort::default();
+    let mut env = Env::new(1, 0u64);
+    let mut runner = BlockRunner::new();
+    runner.set_resume_threshold(0);
+    for _ in 0..5 {
+        runner.step(&blk, &mut env, &mut port);
+    }
+    drop(runner);
+}
