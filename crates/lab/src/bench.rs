@@ -18,6 +18,7 @@
 //! engine buy on this host", with fingerprints gated against the serial
 //! grid exactly like the `-epoch` twins.
 
+use crate::batch;
 use crate::exec::{run_scenario, ExecOptions};
 use crate::json::{parse, Json};
 use crate::results::ResultSet;
@@ -145,6 +146,30 @@ pub struct SweepRow {
     pub fingerprint: String,
 }
 
+/// One row of the batch-overhead measurement: a pinned serial grid
+/// re-run through the ledger-backed batch path ([`batch::run_batch`]:
+/// journal appends + per-cell snapshot writes) and then replayed
+/// merge-style (ledger replay + snapshot loads + fingerprint
+/// verification). `run_wall_ms` against the base grid's `wall_ms` is the
+/// journaling overhead; `replay_wall_ms` is the whole merge-side cost.
+/// Both should be ~0 relative to simulation time, and the fingerprint
+/// must equal the base grid's — the batch path may not change simulated
+/// behavior, and [`BenchReport::engine_twin_mismatches`] gates that as
+/// `<grid>@batch`.
+#[derive(Clone, Debug)]
+pub struct BatchRow {
+    /// The serial grid this row re-runs (matches a [`GridResult::name`]).
+    pub grid: String,
+    /// Host wall time for the grid through the batch path, milliseconds.
+    pub run_wall_ms: u64,
+    /// Host wall time to replay the ledger and reload + verify every
+    /// snapshot, milliseconds.
+    pub replay_wall_ms: u64,
+    /// Canonical results fingerprint of the reloaded cells (must match
+    /// the base grid's).
+    pub fingerprint: String,
+}
+
 /// Measured results for one pinned grid.
 #[derive(Clone, Debug)]
 pub struct GridResult {
@@ -175,6 +200,8 @@ pub struct BenchReport {
     /// Per-worker-count rows from the `--machine-threads` sweep (empty
     /// when no sweep was requested).
     pub sweep: Vec<SweepRow>,
+    /// Ledger/merge overhead rows, one per serial grid.
+    pub batch: Vec<BatchRow>,
     /// Total host wall time, milliseconds.
     pub total_wall_ms: u64,
 }
@@ -182,13 +209,7 @@ pub struct BenchReport {
 /// FNV-1a over the canonical results JSON: stable, dependency-free, and
 /// plenty for change *detection* (this gates determinism, not security).
 fn fingerprint(set: &ResultSet) -> String {
-    let text = set.canonical_json().pretty();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{h:016x}")
+    crate::json::fnv1a(&set.canonical_json().pretty())
 }
 
 /// Runs the pinned grids and collects the report.
@@ -259,11 +280,66 @@ pub fn run(
             });
         }
     }
+    let mut batch_rows = Vec::new();
+    for grid in grids(quick) {
+        if grid.name.ends_with("-epoch") {
+            continue;
+        }
+        batch_rows.push(batch_overhead_row(&grid, opts)?);
+    }
     Ok(BenchReport {
         quick,
         grids: out,
         sweep,
+        batch: batch_rows,
         total_wall_ms: total_start.elapsed().as_millis() as u64,
+    })
+}
+
+/// Runs one pinned grid through the full batch machinery in a scratch
+/// directory — journaled run, then a merge-style replay that reloads and
+/// fingerprint-verifies every snapshot — timing both halves.
+fn batch_overhead_row(grid: &BenchGrid, opts: &ExecOptions) -> Result<BatchRow, String> {
+    let reg = crate::registry::global();
+    let dir = std::env::temp_dir().join(format!(
+        "commtm-bench-batch-{}-{}",
+        std::process::id(),
+        grid.name
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = batch::BatchPlan::from_scenarios(
+        reg,
+        grid.name,
+        &batch::Overrides::default(),
+        vec![grid.scenario.clone()],
+        1,
+    )?;
+    let start = std::time::Instant::now();
+    let outcome = batch::run_batch(reg, &plan, batch::Shard::WHOLE, &dir, None, "light", opts)?;
+    let run_wall_ms = start.elapsed().as_millis() as u64;
+    if !outcome.all_ok {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(format!(
+            "batch overhead grid {} had failing cells",
+            grid.name
+        ));
+    }
+    let start = std::time::Instant::now();
+    let replay = batch::Replay::load(&dir)?;
+    let inputs = batch::merge::MergeInputs {
+        plan,
+        shards: vec![(dir.clone(), replay)],
+        theme: "light".to_string(),
+    };
+    let results = batch::merge::collect(&inputs)?;
+    let sets = batch::assemble_sets(&inputs.plan, &results)?;
+    let replay_wall_ms = start.elapsed().as_millis() as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(BatchRow {
+        grid: grid.name.to_string(),
+        run_wall_ms,
+        replay_wall_ms,
+        fingerprint: fingerprint(&sets[0]),
     })
 }
 
@@ -308,6 +384,22 @@ impl BenchReport {
                                 ("wall_ms", Json::U64(r.wall_ms)),
                                 ("ops", Json::U64(r.ops)),
                                 ("ops_per_sec", Json::U64(r.ops_per_sec)),
+                                ("fingerprint", Json::Str(r.fingerprint.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "batch_overhead",
+                Json::Arr(
+                    self.batch
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("grid", Json::Str(r.grid.clone())),
+                                ("run_wall_ms", Json::U64(r.run_wall_ms)),
+                                ("replay_wall_ms", Json::U64(r.replay_wall_ms)),
                                 ("fingerprint", Json::Str(r.fingerprint.clone())),
                             ])
                         })
@@ -377,10 +469,35 @@ impl BenchReport {
                 });
             }
         }
+        // Likewise for baselines predating the batch-overhead rows (pr8
+        // and earlier).
+        let mut batch = Vec::new();
+        if let Some(rows) = v.get("batch_overhead").and_then(Json::as_arr) {
+            for r in rows {
+                let s = |k: &str| -> Result<String, String> {
+                    r.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("batch row missing {k:?}"))
+                };
+                let u = |k: &str| -> Result<u64, String> {
+                    r.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("batch row missing {k:?}"))
+                };
+                batch.push(BatchRow {
+                    grid: s("grid")?,
+                    run_wall_ms: u("run_wall_ms")?,
+                    replay_wall_ms: u("replay_wall_ms")?,
+                    fingerprint: s("fingerprint")?,
+                });
+            }
+        }
         Ok(BenchReport {
             quick: v.get("mode").and_then(Json::as_str) == Some("quick"),
             grids: out,
             sweep,
+            batch,
             total_wall_ms: v.get("total_wall_ms").and_then(Json::as_u64).unwrap_or(0),
         })
     }
@@ -415,6 +532,19 @@ impl BenchReport {
                 ));
             }
         }
+        if !self.batch.is_empty() {
+            s.push_str("batch-path overhead (ledger + snapshots; behavior must not move)\n");
+            s.push_str(&format!(
+                "{:<16} {:>11} {:>14}  {}\n",
+                "grid", "run wall ms", "replay wall ms", "fingerprint"
+            ));
+            for r in &self.batch {
+                s.push_str(&format!(
+                    "{:<16} {:>11} {:>14}  {}\n",
+                    r.grid, r.run_wall_ms, r.replay_wall_ms, r.fingerprint
+                ));
+            }
+        }
         s.push_str(&format!("total wall time: {} ms\n", self.total_wall_ms));
         s
     }
@@ -423,8 +553,10 @@ impl BenchReport {
     /// identical fingerprints — the epoch-parallel engine is byte-identical
     /// to the serial one by construction, and this is the bench-level
     /// enforcement of that claim. Worker-sweep rows are held to the same
-    /// standard against their base grid. Returns the names that diverged
-    /// (sweep rows as `<grid>@mtN`).
+    /// standard against their base grid, as are batch-overhead rows — the
+    /// ledger path stores and reloads results, it must not change them.
+    /// Returns the names that diverged (sweep rows as `<grid>@mtN`, batch
+    /// rows as `<grid>@batch`).
     pub fn engine_twin_mismatches(&self) -> Vec<String> {
         let mut bad = Vec::new();
         for g in &self.grids {
@@ -440,6 +572,13 @@ impl BenchReport {
             if let Some(b) = self.grids.iter().find(|b| b.name == r.grid) {
                 if b.fingerprint != r.fingerprint {
                     bad.push(format!("{}@mt{}", r.grid, r.machine_threads));
+                }
+            }
+        }
+        for r in &self.batch {
+            if let Some(b) = self.grids.iter().find(|b| b.name == r.grid) {
+                if b.fingerprint != r.fingerprint {
+                    bad.push(format!("{}@batch", r.grid));
                 }
             }
         }
@@ -493,7 +632,7 @@ mod tests {
     fn engine_twins_fingerprint_identically() {
         let opts = ExecOptions {
             jobs: 1,
-            quiet: true,
+            ..ExecOptions::default()
         };
         let report = run(true, &[], &opts).expect("bench runs");
         let serial = report.grids.iter().find(|g| g.name == "counter-quick");
@@ -530,6 +669,12 @@ mod tests {
                 ops_per_sec: 125000,
                 fingerprint: "00ff".into(),
             }],
+            batch: vec![BatchRow {
+                grid: "counter-quick".into(),
+                run_wall_ms: 13,
+                replay_wall_ms: 1,
+                fingerprint: "00ff".into(),
+            }],
             total_wall_ms: 12,
         };
         let text = report.to_json().pretty();
@@ -539,6 +684,8 @@ mod tests {
         assert!(back.quick);
         assert_eq!(back.sweep.len(), 1);
         assert_eq!(back.sweep[0].machine_threads, 2);
+        assert_eq!(back.batch.len(), 1);
+        assert_eq!(back.batch[0].replay_wall_ms, 1);
         assert!(report.fingerprint_mismatches(&back).is_empty());
         assert!(back.engine_twin_mismatches().is_empty());
 
@@ -551,6 +698,15 @@ mod tests {
             vec!["counter-quick@mt2".to_string()]
         );
 
+        // Same for a batch row: storing and reloading results through the
+        // ledger must not change them.
+        let mut diverged = back.clone();
+        diverged.batch[0].fingerprint = "beef".into();
+        assert_eq!(
+            diverged.engine_twin_mismatches(),
+            vec!["counter-quick@batch".to_string()]
+        );
+
         // Pre-sweep baselines (BENCH_pr3/pr5) lack the sweep key entirely
         // and must still parse, with an empty sweep.
         let old = BenchReport::from_json_str(
@@ -559,6 +715,7 @@ mod tests {
         )
         .expect("pre-sweep baseline parses");
         assert!(old.sweep.is_empty());
+        assert!(old.batch.is_empty());
 
         let mut other = back;
         other.grids[0].fingerprint = "beef".into();
@@ -574,7 +731,7 @@ mod tests {
     fn quick_bench_runs_and_fingerprints_deterministically() {
         let opts = ExecOptions {
             jobs: 1,
-            quiet: true,
+            ..ExecOptions::default()
         };
         let a = run(true, &[], &opts).expect("bench runs");
         let b = run(true, &[], &opts).expect("bench runs");
@@ -591,7 +748,7 @@ mod tests {
     fn machine_threads_sweep_rows_match_the_serial_grid() {
         let opts = ExecOptions {
             jobs: 1,
-            quiet: true,
+            ..ExecOptions::default()
         };
         let report = run(true, &[1, 2], &opts).expect("bench runs");
         // Quick mode has one serial grid; two worker counts → two rows,

@@ -5,18 +5,23 @@
 //! commtm-lab workloads                 # registered workloads and defaults
 //! commtm-lab run fig09 --threads-max 16 --out fig09.json
 //! commtm-lab run --all --out-dir report   # every figure + manifest.json
+//! commtm-lab run --all --out-dir s0 --shard 0/2   # half the grid
+//! commtm-lab run --resume s0           # finish a killed run
+//! commtm-lab merge s0 s1 --out-dir report  # combine shard ledgers
 //! commtm-lab run sweep.toml --jobs 8 --csv sweep.csv
 //! commtm-lab diff old.json new.json    # regression gate
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use commtm_lab::batch::{self, Replay, Shard};
 use commtm_lab::bench::BenchReport;
 use commtm_lab::exec::{run_scenario, ExecOptions};
 use commtm_lab::json::{self, Json};
 use commtm_lab::results::{diff, ResultSet};
-use commtm_lab::spec::{default_seeds, parse_scheme, scheme_name, Scenario};
-use commtm_lab::{bench, figures, registry, report, scenarios, toml, trace};
+use commtm_lab::spec::{parse_scheme, scheme_name, Scenario};
+use commtm_lab::{bench, figures, registry, report, scenarios, trace};
 
 const USAGE: &str = "\
 commtm-lab — declarative, parallel experiment sweeps for the CommTM simulator
@@ -27,6 +32,11 @@ USAGE:
                                             typed parameter schemas
     commtm-lab run <scenario|file.toml> [options]
     commtm-lab run --all [--out-dir DIR] [options]
+    commtm-lab run --resume DIR [--jobs N] [--fail-fast] [--progress]
+    commtm-lab merge <dir>... [--out-dir DIR] [--quiet]
+                                            validate shard ledgers and combine
+                                            them into the single report that an
+                                            unsharded run produces
     commtm-lab bench [--quick] [--machine-threads N]
                      [--out BENCH.json] [--check BASE.json]
     commtm-lab verify [--all] [options]     commutativity verification:
@@ -46,7 +56,27 @@ RUN OPTIONS:
     --param KEY=VALUE   override one workload parameter (typed via the
                         workload's schema; repeatable; errors list each
                         workload's valid parameters)
-    --out-dir DIR       artifact directory for --all (default: lab-report)
+    --out-dir DIR       batch-mode artifact directory (default for --all:
+                        lab-report). Batch runs journal per-cell progress
+                        to DIR/ledger.jsonl (crash-safe: a killed run
+                        loses at most its in-flight cells) and snapshot
+                        every cell under DIR/cells/. Naming --out-dir for
+                        a single scenario batches it too. See docs/BATCH.md
+    --resume DIR        replay DIR's ledger: keep completed cells after
+                        verifying their recorded fingerprints, retry
+                        failed and orphaned in-flight cells, finish the
+                        grid, and report a resume summary. Takes the grid
+                        definition from the ledger — grid flags don't
+                        combine with --resume
+    --shard I/N         own only slice I of an N-way deterministic,
+                        cost-balanced cell split (0-based). Each shard is
+                        an independent process writing its own --out-dir;
+                        combine them with `commtm-lab merge`
+    --fail-fast         stop claiming new cells after the first failure.
+                        Default off in batch mode: a poisoned cell is
+                        recorded as failed (figures render a gap) and the
+                        sweep continues; cells skipped by a --fail-fast
+                        stop stay fresh in the ledger for --resume
     --threads LIST      comma-separated thread counts (e.g. 1,8,32)
     --threads-max N     drop sweep points above N threads
     --schemes LIST      comma-separated schemes (baseline,commtm)
@@ -73,6 +103,10 @@ RUN OPTIONS:
     --tol FRAC          relative tolerance for --baseline/diff (default 0)
     --progress          print per-cell progress to stderr
     --quiet             suppress the figure-style report
+
+MERGE OPTIONS:
+    --out-dir DIR       combined report directory (default: lab-report)
+    --quiet             suppress the figure-style reports
 
 BENCH OPTIONS:
     --quick             run only the CI perf-smoke grid subset
@@ -115,6 +149,13 @@ fn main() -> ExitCode {
             }
         },
         Some("run") => match cmd_run(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("merge") => match cmd_merge(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -205,55 +246,14 @@ fn cmd_workloads(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// Grid overrides shared by `run <scenario>` and `run --all`.
-#[derive(Default)]
-struct Overrides {
-    threads: Option<Vec<usize>>,
-    threads_max: Option<usize>,
-    schemes: Option<Vec<commtm::Scheme>>,
-    seeds: Option<usize>,
-    scale: Option<u64>,
-    machine_threads: Option<usize>,
-    trace: bool,
-}
-
-impl Overrides {
-    fn apply(&self, scenario: &mut Scenario) {
-        if let Some(mt) = self.machine_threads {
-            scenario.tuning.machine_threads = Some(mt.max(1));
-        }
-        if self.trace {
-            scenario.tuning.trace = Some(true);
-        }
-        if let Some(t) = &self.threads {
-            scenario.threads = t.clone();
-        }
-        if let Some(max) = self.threads_max {
-            scenario.cap_threads(max);
-        }
-        if let Some(s) = &self.schemes {
-            for label in scenario.set_schemes(s) {
-                eprintln!("note: dropping workload {label:?} (restricted to schemes not swept)");
-            }
-        }
-        if let Some(n) = self.seeds {
-            scenario.seeds = default_seeds(n.max(1));
-        }
-        if let Some(s) = self.scale {
-            scenario.scale = s;
-        }
-    }
-}
-
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut target: Option<&str> = None;
     let mut all = false;
     let mut out_dir: Option<String> = None;
-    let mut opts = ExecOptions {
-        jobs: 0,
-        quiet: true,
-    };
-    let mut ov = Overrides::default();
+    let mut resume: Option<String> = None;
+    let mut shard: Option<Shard> = None;
+    let mut opts = ExecOptions::default();
+    let mut ov = batch::Overrides::default();
     let mut out_json: Option<String> = None;
     let mut out_csv: Option<String> = None;
     let mut out_svg: Option<String> = None;
@@ -261,9 +261,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut baseline: Option<String> = None;
     let mut tol = 0.0f64;
     let mut quiet_report = false;
-    let mut theme = commtm_lab::figures::theme_by_name("light").expect("light theme exists");
+    let mut theme_name = "light".to_string();
 
-    let mut params: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -271,8 +270,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         };
         match arg.as_str() {
             "--all" => all = true,
-            "--param" => params.push(value("--param")?.clone()),
+            "--param" => ov.params.push(value("--param")?.clone()),
             "--out-dir" => out_dir = Some(value("--out-dir")?.clone()),
+            "--resume" => resume = Some(value("--resume")?.clone()),
+            "--shard" => shard = Some(Shard::parse(value("--shard")?)?),
+            "--fail-fast" => opts.fail_fast = true,
             "--threads" => {
                 ov.threads = Some(parse_usize_list(value("--threads")?)?);
             }
@@ -316,8 +318,10 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--baseline" => baseline = Some(value("--baseline")?.clone()),
             "--theme" => {
                 let name = value("--theme")?;
-                theme = commtm_lab::figures::theme_by_name(name)
-                    .ok_or_else(|| format!("unknown theme {name:?} (light or dark)"))?;
+                if commtm_lab::figures::theme_by_name(name).is_none() {
+                    return Err(format!("unknown theme {name:?} (light or dark)"));
+                }
+                theme_name = name.clone();
             }
             "--tol" => tol = value("--tol")?.parse().map_err(|_| "bad --tol")?,
             "--progress" => opts.quiet = false,
@@ -329,48 +333,75 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    if all {
-        if target.is_some() {
-            return Err("--all runs every built-in scenario; don't also name one".into());
+    let single_scenario_outputs = out_json.is_some()
+        || out_csv.is_some()
+        || out_svg.is_some()
+        || trace_out.is_some()
+        || baseline.is_some()
+        || tol != 0.0;
+
+    if let Some(dir) = resume {
+        // The ledger manifest is the grid definition: re-specifying any
+        // part of it alongside --resume is ambiguous, so reject it all.
+        if target.is_some() || all || out_dir.is_some() || shard.is_some() {
+            return Err("--resume replays a ledger's own grid; don't also pass a \
+                 scenario, --all, --out-dir or --shard"
+                .into());
         }
-        if !params.is_empty() {
-            return Err(
-                "--param overrides a single scenario's workload parameters; \
-                        it does not combine with --all"
-                    .into(),
-            );
+        if ov != batch::Overrides::default() || single_scenario_outputs {
+            return Err("--resume takes the grid and output definitions from the \
+                 ledger; grid and output flags don't combine with it"
+                .into());
         }
-        if out_json.is_some()
-            || out_csv.is_some()
-            || out_svg.is_some()
-            || trace_out.is_some()
-            || baseline.is_some()
-            || tol != 0.0
-        {
+        return cmd_run_resume(&dir, &opts, quiet_report);
+    }
+
+    if all || out_dir.is_some() || shard.is_some() {
+        let target = if all {
+            if target.is_some() {
+                return Err("--all runs every built-in scenario; don't also name one".into());
+            }
+            if !ov.params.is_empty() {
+                return Err(
+                    "--param overrides a single scenario's workload parameters; \
+                     it does not combine with --all"
+                        .into(),
+                );
+            }
+            batch::ALL_TARGET
+        } else {
+            target.ok_or("run needs a scenario name, a .toml file, or --all")?
+        };
+        if single_scenario_outputs {
             return Err(
                 "--out/--csv/--svg/--trace-out/--baseline/--tol are single-scenario \
-                 options; --all writes per-scenario files under --out-dir"
+                 options; batch runs write per-scenario files under --out-dir"
                     .into(),
             );
         }
-        return cmd_run_all(
+        let shard = shard.unwrap_or(Shard::WHOLE);
+        if ov.trace && !shard.is_whole() {
+            return Err(
+                "--trace doesn't combine with --shard: traces are not persisted \
+                 in cell snapshots, so a merge could not reproduce them"
+                    .into(),
+            );
+        }
+        return cmd_run_batch(
+            target,
             &out_dir.unwrap_or_else(|| "lab-report".to_string()),
             &ov,
+            shard,
             &opts,
             quiet_report,
-            theme,
+            &theme_name,
         );
     }
 
+    let theme = figures::theme_by_name(&theme_name).expect("validated when parsed");
     let target = target.ok_or("run needs a scenario name, a .toml file, or --all")?;
-    if out_dir.is_some() {
-        return Err("--out-dir only applies to --all; use --out/--csv/--svg".into());
-    }
     let mut scenario = load_scenario(target)?;
-    ov.apply(&mut scenario);
-    for kv in &params {
-        registry::apply_param_override(registry::global(), &mut scenario, kv)?;
-    }
+    ov.apply(registry::global(), &mut scenario)?;
     if trace_out.is_some() && scenario.tuning.trace != Some(true) {
         return Err("--trace-out requires --trace (or tuning.trace = true in the scenario)".into());
     }
@@ -431,128 +462,163 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     Ok(code)
 }
 
-/// `run --all`: every built-in figure scenario (all built-ins except the
-/// `smoke` grid, which is a harness check rather than a paper figure),
-/// one figure + one results JSON each, plus a manifest of everything
-/// produced.
-fn cmd_run_all(
+/// A batch (ledger-backed) run: `run --all`, `run <target> --out-dir`, or
+/// any `--shard` slice. Plans the grid, journals per-cell progress into
+/// `dir/ledger.jsonl`, and — for whole-grid runs — emits the full report
+/// (figures, per-scenario results JSON, manifest, index). Shard slices
+/// leave report emission to `commtm-lab merge`.
+fn cmd_run_batch(
+    target: &str,
     dir: &str,
-    ov: &Overrides,
+    ov: &batch::Overrides,
+    shard: Shard,
     opts: &ExecOptions,
     quiet_report: bool,
-    theme: commtm_plot::palette::Theme,
+    theme_name: &str,
 ) -> Result<ExitCode, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
-    let mut entries: Vec<Json> = Vec::new();
-    let mut all_ok = true;
-    for name in scenarios::builtin_names() {
-        if name == "smoke" {
-            continue;
-        }
-        let mut scenario = scenarios::builtin(name).expect("listed scenario exists");
-        ov.apply(&mut scenario);
-        let set = run_scenario(&scenario, opts)?;
-        if !quiet_report {
-            print!("{}", report::render(&scenario, &set));
-        }
-        let figure = figures::figure_file_name(&scenario);
-        let results = format!("{name}.json");
-        let rendered = figures::render_figure_themed(&scenario, &set, theme);
-        // Report what the figure actually shows, not what the grid asked
-        // for: identical seed replicas have zero spread and no bars.
-        let error_bars = rendered.contains("class=\"errbar\"");
-        write_artifact(dir, &figure, &rendered)?;
-        write_artifact(dir, &results, &set.to_json().pretty())?;
+    let reg = registry::global();
+    let plan = batch::BatchPlan::new(reg, target, ov, shard.total)?;
+    let dir_path = Path::new(dir);
 
-        let ok = set.all_ok();
-        all_ok &= ok;
-        if !ok {
-            eprintln!(
-                "warning: {name}: {} cell(s) failed; the figure has gaps",
-                set.cells.iter().filter(|c| c.stats.is_none()).count()
-            );
-        }
-        let mut entry = vec![
-            ("name", Json::Str(scenario.name.clone())),
-            ("title", Json::Str(scenario.title.clone())),
-            ("report", Json::Str(scenario.report.name().to_string())),
-            ("figure", Json::Str(figure)),
-            ("results", Json::Str(results)),
-            ("cells", Json::U64(set.cells.len() as u64)),
-            ("scale", Json::U64(scenario.scale)),
-            ("seeds", Json::U64(scenario.seeds.len() as u64)),
-            ("error_bars", Json::Bool(error_bars)),
-            ("ok", Json::Bool(ok)),
-            // Host-side visibility: which engine ran the machines and how
-            // long the sweep took, so `run --all` output makes perf
-            // regressions visible without affecting deterministic results.
-            ("engine", Json::Str(set.engine.clone())),
-            ("wall_ms", Json::U64(set.wall_ms)),
-        ];
-        if scenario.tuning.trace == Some(true) {
-            let trace_file = format!("{name}.trace.json");
-            write_artifact(dir, &trace_file, &trace::trace_file_json(&set).compact())?;
-            entry.push(("trace", Json::Str(trace_file)));
-            if let Some(svg) = figures::abort_causes_figure(&scenario, &set, theme) {
-                let aborts = format!("{name}.aborts.svg");
-                write_artifact(dir, &aborts, &svg)?;
-                entry.push(("aborts_figure", Json::Str(aborts)));
+    // Starting fresh truncates any ledger already in the directory. If
+    // that ledger describes this very grid, the user probably wanted to
+    // finish it, not redo it — say so before discarding the work.
+    if dir_path.join(batch::ledger::LEDGER_FILE).exists() {
+        if let Ok(prior) = Replay::load(dir_path) {
+            if prior.manifest.grid_fingerprint == plan.grid_fingerprint
+                && prior.manifest.shard == shard
+            {
+                let done = prior
+                    .states
+                    .values()
+                    .filter(|s| matches!(s, batch::CellState::Completed { .. }))
+                    .count();
+                eprintln!(
+                    "warning: {dir} holds a compatible ledger with {done} completed \
+                     cell(s); starting fresh discards them — \
+                     `commtm-lab run --resume {dir}` would keep them"
+                );
             }
-            // Per-cell conflict attribution: the top hot lines by conflict
-            // count, so the manifest answers "what was contended" without
-            // opening the full trace artifact.
-            let attribution: Vec<Json> = set
-                .cells
-                .iter()
-                .filter_map(|c| {
-                    let trace = c.trace.as_ref()?;
-                    let summary = trace::summarize_trace(trace);
-                    let hot: Vec<Json> = summary
-                        .hot_lines
-                        .iter()
-                        .take(3)
-                        .map(|(line, n)| {
-                            Json::obj(vec![
-                                ("line", Json::U64(*line)),
-                                ("conflicts", Json::U64(*n)),
-                            ])
-                        })
-                        .collect();
-                    Some(Json::obj(vec![
-                        ("label", Json::Str(c.cell.label.clone())),
-                        ("threads", Json::U64(c.cell.threads as u64)),
-                        ("scheme", Json::Str(scheme_name(c.cell.scheme).to_string())),
-                        ("seed", Json::U64(c.cell.seed)),
-                        ("aborts", Json::U64(summary.aborts)),
-                        ("hot_lines", Json::Arr(hot)),
-                    ]))
-                })
-                .collect();
-            entry.push(("attribution", Json::Arr(attribution)));
         }
-        entries.push(Json::obj(entry));
     }
-    // Scale and seeds are per-figure fields: built-ins may declare their
-    // own grids, so run-wide values would misdescribe the report.
-    let manifest = Json::obj(vec![
-        ("generator", Json::Str("commtm-lab run --all".to_string())),
-        ("figures", Json::Arr(entries)),
-    ]);
-    write_artifact(dir, "manifest.json", &manifest.pretty())?;
-    write_artifact(dir, "index.html", &figures::render_index(&manifest))?;
-    Ok(if all_ok {
+
+    let outcome = batch::run_batch(reg, &plan, shard, dir_path, None, theme_name, opts)?;
+    eprintln!("{}", outcome.summary.render());
+
+    if shard.is_whole() {
+        let sets = batch::assemble_sets(&plan, &outcome.results)?;
+        let theme = figures::theme_by_name(theme_name).expect("validated when parsed");
+        let ok = batch::emit_report(dir_path, &plan, &sets, theme, quiet_report)?;
+        Ok(if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        })
+    } else {
+        eprintln!(
+            "shard {shard} of the grid is journaled in {dir}; when every shard is done, \
+             combine them: commtm-lab merge <dir>... --out-dir <report>"
+        );
+        Ok(if outcome.all_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        })
+    }
+}
+
+/// `run --resume DIR`: replay DIR's ledger, keep verified completed
+/// cells, retry failed and orphaned in-flight cells, and finish the grid
+/// the ledger describes.
+fn cmd_run_resume(dir: &str, opts: &ExecOptions, quiet_report: bool) -> Result<ExitCode, String> {
+    let reg = registry::global();
+    let dir_path = Path::new(dir);
+    let prior = Replay::load(dir_path)?;
+    let m = prior.manifest.clone();
+    if m.overrides.trace {
+        return Err(format!(
+            "{dir}: this ledger captured traces, which are not persisted in cell \
+             snapshots; traced grids must re-run whole (commtm-lab run ... --trace)"
+        ));
+    }
+    if prior.truncated_tail {
+        eprintln!(
+            "note: {dir}: ledger ends mid-record (the previous run died while \
+             appending); the partial record was ignored"
+        );
+    }
+    let plan = batch::BatchPlan::new(reg, &m.target, &m.overrides, m.shard.total)?;
+    if plan.grid_fingerprint != m.grid_fingerprint {
+        return Err(format!(
+            "{dir}: grid fingerprint mismatch: the ledger was written for {} but this \
+             build enumerates {} — the scenarios changed; re-run instead of resuming",
+            m.grid_fingerprint, plan.grid_fingerprint
+        ));
+    }
+    if plan.jobs.len() != m.total_cells {
+        return Err(format!(
+            "{dir}: cell count mismatch: ledger recorded {} cells, this build \
+             enumerates {}",
+            m.total_cells,
+            plan.jobs.len()
+        ));
+    }
+
+    let outcome = batch::run_batch(reg, &plan, m.shard, dir_path, Some(&prior), &m.theme, opts)?;
+    eprintln!("{}", outcome.summary.render());
+
+    if m.shard.is_whole() {
+        let sets = batch::assemble_sets(&plan, &outcome.results)?;
+        let theme = figures::theme_by_name(&m.theme)
+            .ok_or_else(|| format!("ledger records unknown theme {:?}", m.theme))?;
+        let ok = batch::emit_report(dir_path, &plan, &sets, theme, quiet_report)?;
+        Ok(if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        })
+    } else {
+        eprintln!(
+            "shard {} of the grid is journaled in {dir}; when every shard is done, \
+             combine them: commtm-lab merge <dir>... --out-dir <report>",
+            m.shard
+        );
+        Ok(if outcome.all_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        })
+    }
+}
+
+/// `merge <dir>...`: validate shard ledgers (same grid, every shard
+/// present exactly once, every cell finished and verifying) and combine
+/// them into the single report an unsharded run writes.
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut out_dir = "lab-report".to_string();
+    let mut quiet_report = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                out_dir = it.next().ok_or("--out-dir needs a value")?.clone();
+            }
+            "--quiet" => quiet_report = true,
+            p if !p.starts_with('-') => dirs.push(PathBuf::from(p)),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if dirs.is_empty() {
+        return Err("merge needs the shard output directories (one per shard)".into());
+    }
+    let ok =
+        batch::merge::merge_dirs(registry::global(), &dirs, Path::new(&out_dir), quiet_report)?;
+    Ok(if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     })
-}
-
-/// Writes one artifact into the output directory, reporting it on stderr.
-fn write_artifact(dir: &str, file: &str, content: &str) -> Result<(), String> {
-    let path = std::path::Path::new(dir).join(file);
-    std::fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))?;
-    eprintln!("wrote {}", path.display());
-    Ok(())
 }
 
 /// `bench`: the pinned perf baseline (see `commtm_lab::bench` and
@@ -563,10 +629,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut sweep_to: usize = 0;
-    let mut opts = ExecOptions {
-        jobs: 0,
-        quiet: true,
-    };
+    let mut opts = ExecOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -769,25 +832,16 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn load_scenario(target: &str) -> Result<Scenario, String> {
-    if target.ends_with(".toml") {
-        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
-        return toml::scenario_from_toml(&text);
+    if target == batch::ALL_TARGET {
+        return Err("pass --all as a flag, not a target".into());
     }
-    if let Some(s) = scenarios::builtin(target) {
-        return Ok(s);
-    }
-    // A bare registry workload name runs as an ad-hoc sweep with a small
-    // thread grid — `commtm-lab run bank --trace` without writing a TOML.
-    if registry::global().resolve(target).is_some() {
-        return Ok(Scenario::new(target, target)
-            .workload(commtm_lab::spec::WorkloadSpec::named(target))
-            .threads(&[1, 8, 32]));
-    }
-    Err(format!(
-        "unknown scenario {target:?}; built-ins: {} (or a registry workload \
-         name, or pass a .toml file)",
-        scenarios::builtin_names().join(", ")
-    ))
+    let mut scenarios = batch::resolve_target(registry::global(), target)?;
+    debug_assert_eq!(
+        scenarios.len(),
+        1,
+        "non---all targets resolve to one scenario"
+    );
+    Ok(scenarios.remove(0))
 }
 
 /// `trace-validate`: check a `--trace` artifact against the committed

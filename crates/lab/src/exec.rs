@@ -20,7 +20,7 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::Instant;
 
@@ -35,6 +35,12 @@ pub struct ExecOptions {
     pub jobs: usize,
     /// Suppress per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Stop claiming new cells after the first failure (in-flight cells
+    /// finish). Off by default: a poisoned cell is recorded and the rest
+    /// of the sweep continues — in batch mode its ledger row stays
+    /// `failed` and the figure renders a gap. Unclaimed cells are
+    /// recorded as skipped, never as failed.
+    pub fail_fast: bool,
 }
 
 impl Default for ExecOptions {
@@ -42,6 +48,7 @@ impl Default for ExecOptions {
         ExecOptions {
             jobs: 0,
             quiet: true,
+            fail_fast: false,
         }
     }
 }
@@ -150,17 +157,24 @@ pub fn run_scenario_in(
     let order = schedule_order_in(reg, &cells, scenario.scale);
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
     let total = cells.len();
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                if opts.fail_fast && failed.load(Ordering::Relaxed) {
+                    return;
+                }
                 let claim = cursor.fetch_add(1, Ordering::Relaxed);
                 if claim >= total {
                     return;
                 }
                 let idx = order[claim];
                 let result = run_cell(reg, &cells[idx], scenario);
+                if result.stats.is_none() {
+                    failed.store(true, Ordering::Relaxed);
+                }
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if !opts.quiet {
                     progress_line(&result, finished, total);
@@ -172,10 +186,18 @@ pub fn run_scenario_in(
 
     let results: Vec<CellResult> = slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every cell filled")
+        .zip(&cells)
+        .map(|(slot, cell)| {
+            // Cells left unclaimed by a --fail-fast stop are recorded as
+            // skipped (the shape of the result set never changes), never
+            // as failed: a batch ledger must not mark them failed either.
+            slot.into_inner().expect("slot lock").unwrap_or(CellResult {
+                cell: cell.clone(),
+                stats: None,
+                error: Some(SKIPPED_FAIL_FAST.to_string()),
+                wall_ms: 0,
+                trace: None,
+            })
         })
         .collect();
 
@@ -201,6 +223,12 @@ pub fn engine_name(machine_threads: usize) -> String {
     }
 }
 
+/// The error string recorded for cells a `--fail-fast` stop never ran.
+/// Distinguishable from real failures: the batch layer leaves these cells
+/// fresh in the ledger so a later `--resume` runs them.
+pub const SKIPPED_FAIL_FAST: &str =
+    "skipped: --fail-fast stopped the sweep after an earlier failure";
+
 /// Runs every cell serially on the calling thread (reference mode for
 /// determinism checks; also useful under debuggers).
 pub fn run_scenario_serial(scenario: &Scenario) -> Result<ResultSet, String> {
@@ -208,7 +236,7 @@ pub fn run_scenario_serial(scenario: &Scenario) -> Result<ResultSet, String> {
         scenario,
         &ExecOptions {
             jobs: 1,
-            quiet: true,
+            ..ExecOptions::default()
         },
     )
 }
@@ -222,7 +250,7 @@ thread_local! {
 /// Installs (once, process-wide) a panic hook that stays silent for
 /// panics already captured by [`run_cell`] and delegates everything else
 /// to the previously-installed hook.
-fn install_quiet_cell_hook() {
+pub(crate) fn install_quiet_cell_hook() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
@@ -234,7 +262,12 @@ fn install_quiet_cell_hook() {
     });
 }
 
-fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario) -> CellResult {
+/// Runs one grid cell of `scenario` on the calling thread: resolve in
+/// `reg`, simulate, check the oracle, catch panics into the cell's error.
+/// This is the unit of work both the sweep executor above and the batch
+/// runner ([`crate::batch`]) fan out; the results are identical because
+/// they are the same code path.
+pub fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario) -> CellResult {
     let started = Instant::now();
     let traced = scenario.tuning.trace == Some(true);
     IN_CELL.with(|f| f.set(true));
@@ -310,7 +343,7 @@ mod tests {
             &scn,
             &ExecOptions {
                 jobs: 8,
-                quiet: true,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -383,13 +416,13 @@ mod tests {
     fn jobs_are_clamped_to_cells() {
         let opts = ExecOptions {
             jobs: 64,
-            quiet: true,
+            ..ExecOptions::default()
         };
         assert_eq!(opts.effective_jobs(3), 3);
         assert_eq!(
             ExecOptions {
                 jobs: 2,
-                quiet: true
+                ..ExecOptions::default()
             }
             .effective_jobs(100),
             2
@@ -397,7 +430,7 @@ mod tests {
         assert!(
             ExecOptions {
                 jobs: 0,
-                quiet: true
+                ..ExecOptions::default()
             }
             .effective_jobs(100)
                 >= 1

@@ -434,12 +434,29 @@ pub fn render_index(manifest: &crate::json::Json) -> String {
         if let Some(trace) = entry.get("trace").and_then(Json::as_str) {
             let _ = write!(trace_links, " · <a href=\"{0}\">trace</a>", esc(trace));
         }
+        // Failed cells render as gaps in the figure; name them here so
+        // the report says *which* points are missing, not just that some
+        // are (batch runs record the list in the manifest).
+        let mut failed_list = String::new();
+        if let Some(failed) = entry.get("failed").and_then(Json::as_arr) {
+            if !failed.is_empty() {
+                failed_list.push_str("<ul class=\"failed-cells\">\n");
+                for cell in failed {
+                    let _ = writeln!(
+                        failed_list,
+                        "<li>{}</li>",
+                        esc(cell.as_str().unwrap_or("?"))
+                    );
+                }
+                failed_list.push_str("</ul>\n");
+            }
+        }
         let _ = writeln!(
             sections,
             "<section{warn}>\n<h2>{name}: {title}</h2>\n{media}\n\
              <p class=\"sub\">{report} report · {cells} cells · scale {scale} · \
              {seeds} seed(s){flag} · <a href=\"{results}\">results JSON</a>\
-             {trace_links}</p>\n</section>",
+             {trace_links}</p>\n{failed_list}</section>",
             warn = if ok { "" } else { " class=\"failed\"" },
             name = esc(s("name")),
             title = esc(s("title")),
@@ -463,6 +480,7 @@ pub fn render_index(manifest: &crate::json::Json) -> String {
          section {{ margin: 2rem 0; border-bottom: 1px solid {grid}; \
          padding-bottom: 1rem; }}\n\
          section.failed h2::after {{ content: \" ⚠\"; color: #d03b3b; }}\n\
+         ul.failed-cells {{ color: #d03b3b; font-size: 0.85rem; }}\n\
          img {{ max-width: 100%; height: auto; }}\n\
          a {{ color: inherit; }}\n\
          </style></head><body>\n<h1>commtm-lab report</h1>\n\

@@ -8,6 +8,20 @@
 
 use std::fmt::Write as _;
 
+/// FNV-1a over a text, rendered as 16 hex digits. The workspace's
+/// determinism fingerprints (bench grids, batch ledger cells) all hash
+/// canonical JSON through this: stable, dependency-free, and plenty for
+/// change *detection* — these fingerprints gate determinism, not
+/// security.
+pub fn fnv1a(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {

@@ -50,6 +50,7 @@
 //! `commtm-lab run --all --out-dir report` to regenerate every figure
 //! plus a `manifest.json` of the produced artifacts.
 
+pub mod batch;
 pub mod bench;
 pub mod exec;
 pub mod figures;
@@ -107,7 +108,10 @@ pub fn apply_env(scenario: &mut Scenario) -> ExecOptions {
         Ok(s) => s.parse().expect("COMMTM_JOBS must be an integer"),
         Err(_) => 0,
     };
-    ExecOptions { jobs, quiet: true }
+    ExecOptions {
+        jobs,
+        ..ExecOptions::default()
+    }
 }
 
 /// Entry point for the thin per-figure bench wrappers: loads the named

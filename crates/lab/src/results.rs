@@ -240,6 +240,114 @@ impl CellResult {
             self.cell.seed
         )
     }
+
+    /// The JSON form of one cell result — identity, parameters, then
+    /// stats or error. With `timing` set, host wall-clock and the trace
+    /// summary ride along; without it the output is canonical (two runs
+    /// of the same cell emit byte-identical text). This is also the
+    /// format of the batch ledger's per-cell result files (see
+    /// [`crate::batch`]).
+    pub fn to_json(&self, timing: bool) -> Json {
+        let c = self;
+        let mut pairs = vec![
+            ("workload".to_string(), Json::Str(c.cell.workload.clone())),
+            ("label".to_string(), Json::Str(c.cell.label.clone())),
+            ("threads".to_string(), Json::U64(c.cell.threads as u64)),
+            (
+                "scheme".to_string(),
+                Json::Str(scheme_name(c.cell.scheme).to_string()),
+            ),
+            (
+                "seed_index".to_string(),
+                Json::U64(c.cell.seed_index as u64),
+            ),
+            ("seed".to_string(), Json::U64(c.cell.seed)),
+        ];
+        if !c.cell.params.is_empty() {
+            pairs.push((
+                "params".to_string(),
+                Json::Obj(
+                    c.cell
+                        .params
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), param_to_json(v)))
+                        .collect(),
+                ),
+            ));
+        }
+        match (&c.stats, &c.error) {
+            (Some(s), _) => pairs.push(("stats".to_string(), s.to_json())),
+            (None, Some(e)) => pairs.push(("error".to_string(), Json::Str(e.clone()))),
+            (None, None) => pairs.push(("error".to_string(), Json::Str("unknown".into()))),
+        }
+        if timing {
+            pairs.push(("wall_ms".to_string(), Json::U64(c.wall_ms)));
+            if let Some(trace) = &c.trace {
+                let summary = crate::trace::summarize_trace(trace);
+                pairs.push(("trace".to_string(), crate::trace::summary_to_json(&summary)));
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses one cell result back from its JSON form ([`CellResult::to_json`]).
+    /// `index` positions the cell in its result set; raw traces are not
+    /// round-tripped (result files carry only the trace *summary*).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(c: &Json, index: usize) -> Result<Self, String> {
+        let workload = c
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("cell missing \"workload\"")?
+            .to_string();
+        let label = c
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or(&workload)
+            .to_string();
+        let mut params = Params::new();
+        if let Some(Json::Obj(pairs)) = c.get("params") {
+            for (n, pv) in pairs {
+                params.set(n, param_from_json(pv)?);
+            }
+        }
+        let stats = match c.get("stats") {
+            Some(s) => Some(CellStats::from_json(s)?),
+            None => None,
+        };
+        Ok(CellResult {
+            cell: Cell {
+                index,
+                workload_index: 0,
+                workload,
+                label,
+                params,
+                threads: c
+                    .get("threads")
+                    .and_then(Json::as_u64)
+                    .ok_or("cell missing \"threads\"")? as usize,
+                scheme: parse_scheme(
+                    c.get("scheme")
+                        .and_then(Json::as_str)
+                        .ok_or("cell missing \"scheme\"")?,
+                )?,
+                seed_index: c.get("seed_index").and_then(Json::as_u64).unwrap_or(0) as usize,
+                seed: c
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or("cell missing \"seed\"")?,
+            },
+            stats,
+            error: c.get("error").and_then(Json::as_str).map(str::to_string),
+            wall_ms: c.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
+            // Result files carry only the trace *summary*; the raw
+            // event stream lives in the side-car trace file.
+            trace: None,
+        })
+    }
 }
 
 /// An executed scenario: its identity, grid, and per-cell results in
@@ -389,51 +497,7 @@ impl ResultSet {
     }
 
     fn json_impl(&self, timing: bool) -> Json {
-        let cells: Vec<Json> = self
-            .cells
-            .iter()
-            .map(|c| {
-                let mut pairs = vec![
-                    ("workload".to_string(), Json::Str(c.cell.workload.clone())),
-                    ("label".to_string(), Json::Str(c.cell.label.clone())),
-                    ("threads".to_string(), Json::U64(c.cell.threads as u64)),
-                    (
-                        "scheme".to_string(),
-                        Json::Str(scheme_name(c.cell.scheme).to_string()),
-                    ),
-                    (
-                        "seed_index".to_string(),
-                        Json::U64(c.cell.seed_index as u64),
-                    ),
-                    ("seed".to_string(), Json::U64(c.cell.seed)),
-                ];
-                if !c.cell.params.is_empty() {
-                    pairs.push((
-                        "params".to_string(),
-                        Json::Obj(
-                            c.cell
-                                .params
-                                .iter()
-                                .map(|(n, v)| (n.to_string(), param_to_json(v)))
-                                .collect(),
-                        ),
-                    ));
-                }
-                match (&c.stats, &c.error) {
-                    (Some(s), _) => pairs.push(("stats".to_string(), s.to_json())),
-                    (None, Some(e)) => pairs.push(("error".to_string(), Json::Str(e.clone()))),
-                    (None, None) => pairs.push(("error".to_string(), Json::Str("unknown".into()))),
-                }
-                if timing {
-                    pairs.push(("wall_ms".to_string(), Json::U64(c.wall_ms)));
-                    if let Some(trace) = &c.trace {
-                        let summary = crate::trace::summarize_trace(trace);
-                        pairs.push(("trace".to_string(), crate::trace::summary_to_json(&summary)));
-                    }
-                }
-                Json::Obj(pairs)
-            })
-            .collect();
+        let cells: Vec<Json> = self.cells.iter().map(|c| c.to_json(timing)).collect();
         let mut pairs = vec![
             ("scenario".to_string(), Json::Str(self.scenario.clone())),
             ("title".to_string(), Json::Str(self.title.clone())),
@@ -483,55 +547,7 @@ impl ResultSet {
             .iter()
             .enumerate()
         {
-            let workload = c
-                .get("workload")
-                .and_then(Json::as_str)
-                .ok_or("cell missing \"workload\"")?
-                .to_string();
-            let label = c
-                .get("label")
-                .and_then(Json::as_str)
-                .unwrap_or(&workload)
-                .to_string();
-            let mut params = Params::new();
-            if let Some(Json::Obj(pairs)) = c.get("params") {
-                for (n, pv) in pairs {
-                    params.set(n, param_from_json(pv)?);
-                }
-            }
-            let stats = match c.get("stats") {
-                Some(s) => Some(CellStats::from_json(s)?),
-                None => None,
-            };
-            cells.push(CellResult {
-                cell: Cell {
-                    index,
-                    workload_index: 0,
-                    workload,
-                    label,
-                    params,
-                    threads: c
-                        .get("threads")
-                        .and_then(Json::as_u64)
-                        .ok_or("cell missing \"threads\"")? as usize,
-                    scheme: parse_scheme(
-                        c.get("scheme")
-                            .and_then(Json::as_str)
-                            .ok_or("cell missing \"scheme\"")?,
-                    )?,
-                    seed_index: c.get("seed_index").and_then(Json::as_u64).unwrap_or(0) as usize,
-                    seed: c
-                        .get("seed")
-                        .and_then(Json::as_u64)
-                        .ok_or("cell missing \"seed\"")?,
-                },
-                stats,
-                error: c.get("error").and_then(Json::as_str).map(str::to_string),
-                wall_ms: c.get("wall_ms").and_then(Json::as_u64).unwrap_or(0),
-                // Result files carry only the trace *summary*; the raw
-                // event stream lives in the side-car trace file.
-                trace: None,
-            });
+            cells.push(CellResult::from_json(c, index)?);
         }
         Ok(ResultSet {
             scenario,

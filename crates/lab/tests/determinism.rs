@@ -91,8 +91,14 @@ fn parallel_executor_is_byte_deterministic() {
     assert!(serial.all_ok(), "every cell must verify its oracle");
     let reference = serial.canonical_json().pretty();
     for jobs in [4, 16] {
-        let parallel =
-            run_scenario(&scn, &ExecOptions { jobs, quiet: true }).expect("parallel run");
+        let parallel = run_scenario(
+            &scn,
+            &ExecOptions {
+                jobs,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("parallel run");
         assert_eq!(
             parallel.canonical_json().pretty(),
             reference,
@@ -104,7 +110,7 @@ fn parallel_executor_is_byte_deterministic() {
         &scn,
         &ExecOptions {
             jobs: 4,
-            quiet: true,
+            ..ExecOptions::default()
         },
     )
     .expect("repeat");
@@ -120,7 +126,7 @@ fn tracing_is_observation_only() {
     let scn = sweep();
     let opts = ExecOptions {
         jobs: 4,
-        quiet: true,
+        ..ExecOptions::default()
     };
     let plain = run_scenario(&scn, &opts).expect("untraced run");
     let mut traced_scn = sweep();
@@ -143,7 +149,7 @@ fn csv_export_is_deterministic() {
         &scn,
         &ExecOptions {
             jobs: 8,
-            quiet: true,
+            ..ExecOptions::default()
         },
     )
     .expect("run a");

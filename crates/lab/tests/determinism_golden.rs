@@ -106,7 +106,7 @@ fn parallel_and_serial_results_agree() {
         &scn,
         &ExecOptions {
             jobs: 4,
-            quiet: true,
+            ..ExecOptions::default()
         },
     )
     .expect("parallel runs");

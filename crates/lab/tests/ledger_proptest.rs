@@ -1,0 +1,135 @@
+//! Property tests for the batch grid service's two pure cores: ledger
+//! journal replay (arbitrary claim/complete/fail interleavings, with a
+//! truncated final line standing in for a kill mid-append) and the
+//! deterministic cell→shard assignment. See docs/BATCH.md.
+
+use std::collections::BTreeMap;
+
+use commtm_lab::batch::shard::assign;
+use commtm_lab::batch::{CellState, Event, ManifestRecord, Overrides, Replay, Shard};
+use proptest::prelude::*;
+
+fn manifest() -> ManifestRecord {
+    ManifestRecord {
+        target: "fig09".into(),
+        overrides: Overrides::default(),
+        theme: "light".into(),
+        shard: Shard::WHOLE,
+        grid_fingerprint: "0011223344556677".into(),
+        total_cells: 4,
+    }
+}
+
+/// Decodes one generated `(kind, job)` pair into an event. Jobs repeat
+/// across the sequence, so interleavings exercise last-event-wins.
+fn event(kind: usize, job: usize) -> Event {
+    let job = format!("g#{job}");
+    match kind {
+        0 => Event::Claimed { job },
+        1 => Event::Completed {
+            fingerprint: format!("fp-{job}"),
+            wall_ms: 7,
+            results: format!("cells/{job}.json"),
+            job,
+        },
+        _ => Event::Failed {
+            error: format!("boom in {job}"),
+            job,
+        },
+    }
+}
+
+/// The reference model: a map applying each event in order, last wins.
+fn model(events: &[Event]) -> BTreeMap<String, CellState> {
+    let mut states = BTreeMap::new();
+    for e in events {
+        let state = match e {
+            Event::Claimed { .. } => CellState::Claimed,
+            Event::Completed {
+                fingerprint,
+                wall_ms,
+                results,
+                ..
+            } => CellState::Completed {
+                fingerprint: fingerprint.clone(),
+                results: results.clone(),
+                wall_ms: *wall_ms,
+            },
+            Event::Failed { error, .. } => CellState::Failed {
+                error: error.clone(),
+            },
+        };
+        states.insert(e.job().to_string(), state);
+    }
+    states
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying a journal of arbitrary interleaved events reproduces the
+    /// last-event-wins model exactly, and chopping bytes off the final
+    /// line — byte-for-byte what a `kill -9` during an append leaves
+    /// behind — loses exactly that one event and nothing else.
+    #[test]
+    fn replay_matches_last_event_wins_model(
+        codes in proptest::collection::vec((0usize..3, 0usize..4), 0..40),
+        cut in 0usize..256,
+    ) {
+        let events: Vec<Event> = codes.iter().map(|&(k, j)| event(k, j)).collect();
+        let mut text = manifest().to_json().compact();
+        for e in &events {
+            text.push_str(&e.to_json().compact());
+        }
+        let r = Replay::parse(&text).unwrap();
+        prop_assert!(!r.truncated_tail);
+        prop_assert_eq!(&r.manifest, &manifest());
+        prop_assert_eq!(&r.states, &model(&events));
+
+        if let Some(last) = events.last() {
+            let line = last.to_json().compact();
+            // chop = 0 keeps the file whole; chop = 1 loses only the
+            // final newline (the record itself still parses); more loses
+            // the record. Never chop the whole line: that is just a
+            // shorter, fully-valid journal.
+            let chop = cut % line.len();
+            let truncated = &text[..text.len() - chop];
+            let r = Replay::parse(truncated).unwrap();
+            if chop <= 1 {
+                prop_assert!(!r.truncated_tail);
+                prop_assert_eq!(&r.states, &model(&events));
+            } else {
+                prop_assert!(r.truncated_tail, "partial final line must be flagged");
+                prop_assert_eq!(&r.states, &model(&events[..events.len() - 1]));
+            }
+        }
+    }
+
+    /// The shard assignment is a total, disjoint, deterministic partition,
+    /// and LPT-greedy keeps shard loads within one longest cell.
+    #[test]
+    fn shard_assignment_is_disjoint_complete_deterministic(
+        costs in proptest::collection::vec(0u64..5_000, 0..80),
+        total in 1usize..8,
+    ) {
+        let a = assign(&costs, total);
+        // Total and disjoint by shape: every cell names exactly one shard.
+        prop_assert_eq!(a.len(), costs.len());
+        prop_assert!(a.iter().all(|&s| s < total), "shard indices in range");
+        // Pure function of (costs, total).
+        prop_assert_eq!(&a, &assign(&costs, total));
+        let mut load = vec![0u64; total];
+        for (cell, &s) in a.iter().enumerate() {
+            load[s] += costs[cell].max(1);
+        }
+        if !costs.is_empty() {
+            let longest = costs.iter().map(|&c| c.max(1)).max().unwrap();
+            let spread = load.iter().max().unwrap() - load.iter().min().unwrap();
+            prop_assert!(
+                spread <= longest,
+                "LPT balances to within one longest cell: {:?}",
+                load
+            );
+        }
+    }
+}
