@@ -70,8 +70,8 @@ pub use commtm_protocol::{
     TraceEventKind, WasteBucket,
 };
 pub use commtm_sim::{
-    CycleBreakdown, Engine, EpochEngine, Machine, MachineConfig, RunReport, SerialEngine, SimError,
-    Tuning,
+    take_engine_phases, CycleBreakdown, Engine, EnginePhases, EpochEngine, Machine, MachineConfig,
+    RunReport, SerialEngine, SimError, Tuning,
 };
 pub use commtm_tx::{Ctl, CtlCtx, Program, ProgramBuilder, TxCtx};
 

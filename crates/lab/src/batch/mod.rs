@@ -652,6 +652,7 @@ pub fn run_batch(
                     error: Some(SKIPPED_FAIL_FAST.to_string()),
                     wall_ms: 0,
                     trace: None,
+                    phases: None,
                 });
             }
         }

@@ -188,6 +188,10 @@ pub struct GridResult {
     /// FNV-1a hash of the grid's canonical (timing-free) results JSON.
     /// Exact: any change means simulated behavior changed.
     pub fingerprint: String,
+    /// Epoch-engine phase accounting summed over the grid's cells, when
+    /// any cell ran under the epoch-parallel engine. Informational (host
+    /// times), never gated.
+    pub phases: Option<commtm::EnginePhases>,
 }
 
 /// A full bench run: per-grid phases plus the total.
@@ -210,6 +214,20 @@ pub struct BenchReport {
 /// plenty for change *detection* (this gates determinism, not security).
 fn fingerprint(set: &ResultSet) -> String {
     crate::json::fnv1a(&set.canonical_json().pretty())
+}
+
+/// Sums the epoch-engine phase accounting over a grid's cells. `None`
+/// when no cell ran under the epoch engine (serial grids).
+fn sum_phases(set: &ResultSet) -> Option<commtm::EnginePhases> {
+    let mut total = commtm::EnginePhases::default();
+    let mut any = false;
+    for c in &set.cells {
+        if let Some(p) = &c.phases {
+            total.accumulate(p);
+            any = true;
+        }
+    }
+    any.then_some(total)
 }
 
 /// Runs the pinned grids and collects the report.
@@ -248,6 +266,7 @@ pub fn run(
             ops,
             ops_per_sec: (ops as f64 / secs) as u64,
             fingerprint: fingerprint(&set),
+            phases: sum_phases(&set),
         });
     }
     let mut sweep = Vec::new();
@@ -359,7 +378,7 @@ impl BenchReport {
                     self.grids
                         .iter()
                         .map(|g| {
-                            Json::obj(vec![
+                            let mut pairs = vec![
                                 ("name", Json::Str(g.name.clone())),
                                 ("what", Json::Str(g.what.clone())),
                                 ("wall_ms", Json::U64(g.wall_ms)),
@@ -367,7 +386,11 @@ impl BenchReport {
                                 ("ops", Json::U64(g.ops)),
                                 ("ops_per_sec", Json::U64(g.ops_per_sec)),
                                 ("fingerprint", Json::Str(g.fingerprint.clone())),
-                            ])
+                            ];
+                            if let Some(p) = &g.phases {
+                                pairs.push(("phases", crate::results::phases_to_json(p)));
+                            }
+                            Json::obj(pairs)
                         })
                         .collect(),
                 ),
@@ -441,6 +464,7 @@ impl BenchReport {
                 ops: u("ops")?,
                 ops_per_sec: u("ops_per_sec")?,
                 fingerprint: s("fingerprint")?,
+                phases: g.get("phases").map(crate::results::phases_from_json),
             });
         }
         // Older baselines (pr3/pr5) predate the worker sweep; treat a
@@ -519,6 +543,46 @@ impl BenchReport {
                 g.name, g.wall_ms, g.cells, g.ops, g.ops_per_sec, g.fingerprint
             ));
         }
+        let phased: Vec<&GridResult> = self.grids.iter().filter(|g| g.phases.is_some()).collect();
+        if !phased.is_empty() {
+            s.push_str("epoch engine phase accounting (host ms, informational)\n");
+            s.push_str(&format!(
+                "{:<20} {:>7} {:>7} {:>5} {:>8} {:>8} {:>9} {:>7} {:>7} {:>7}\n",
+                "grid",
+                "commits",
+                "attempt",
+                "parks",
+                "spec",
+                "clone",
+                "validate",
+                "replay",
+                "serial",
+                "sync"
+            ));
+            for g in &phased {
+                let p = g.phases.as_ref().expect("filtered on phases");
+                s.push_str(&format!(
+                    "{:<20} {:>7} {:>7} {:>5} {:>8.0} {:>8.0} {:>9.0} {:>7.0} {:>7.0} {:>7.0}\n",
+                    g.name,
+                    p.commits,
+                    p.attempts,
+                    p.parks,
+                    p.spec_ms,
+                    p.clone_ms,
+                    p.validate_ms,
+                    p.replay_ms,
+                    p.serial_ms,
+                    p.sync_ms
+                ));
+            }
+        }
+        let ratios = self.epoch_overhead_ratios();
+        if !ratios.is_empty() {
+            s.push_str("epoch overhead vs serial twin (wall ratio; non-gating)\n");
+            for (name, ratio) in &ratios {
+                s.push_str(&format!("{name:<20} {ratio:>6.2}x\n"));
+            }
+        }
         if !self.sweep.is_empty() {
             s.push_str("machine-threads sweep (same grids; only wall time may move)\n");
             s.push_str(&format!(
@@ -583,6 +647,91 @@ impl BenchReport {
             }
         }
         bad
+    }
+
+    /// Wall-time ratio of every `-epoch` grid against its serial base —
+    /// the cost (or saving) of within-machine speculation on this host.
+    /// Informational only: the CI perf-smoke prints it but never gates on
+    /// it (timing moves with the host; fingerprints are the gate).
+    pub fn epoch_overhead_ratios(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for g in &self.grids {
+            if let Some(base) = g.name.strip_suffix("-epoch") {
+                if let Some(b) = self.grids.iter().find(|b| b.name == base) {
+                    if b.wall_ms > 0 {
+                        out.push((g.name.clone(), g.wall_ms as f64 / b.wall_ms as f64));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a per-grid delta table against a baseline report (the
+    /// `bench --compare old.json new.json` output): wall time, throughput,
+    /// epoch-overhead ratios, and whether fingerprints still match. Grids
+    /// present on only one side are listed but not compared.
+    pub fn compare_render(&self, baseline: &BenchReport) -> String {
+        fn pct(old: f64, new: f64) -> String {
+            if old <= 0.0 {
+                return "n/a".to_string();
+            }
+            format!("{:+.1}%", (new - old) / old * 100.0)
+        }
+        let mut s = String::new();
+        s.push_str("bench compare: baseline -> current\n");
+        s.push_str(&format!(
+            "{:<20} {:>9} {:>9} {:>8} {:>12} {:>12} {:>8}  {}\n",
+            "grid", "old ms", "new ms", "wall", "old ops/s", "new ops/s", "ops/s", "fingerprint"
+        ));
+        for g in &self.grids {
+            match baseline.grids.iter().find(|b| b.name == g.name) {
+                Some(b) => {
+                    let fp = if b.fingerprint == g.fingerprint {
+                        "match"
+                    } else {
+                        "DIVERGED"
+                    };
+                    s.push_str(&format!(
+                        "{:<20} {:>9} {:>9} {:>8} {:>12} {:>12} {:>8}  {}\n",
+                        g.name,
+                        b.wall_ms,
+                        g.wall_ms,
+                        pct(b.wall_ms as f64, g.wall_ms as f64),
+                        b.ops_per_sec,
+                        g.ops_per_sec,
+                        pct(b.ops_per_sec as f64, g.ops_per_sec as f64),
+                        fp
+                    ));
+                }
+                None => s.push_str(&format!("{:<20} (not in baseline)\n", g.name)),
+            }
+        }
+        for b in &baseline.grids {
+            if !self.grids.iter().any(|g| g.name == b.name) {
+                s.push_str(&format!("{:<20} (baseline only)\n", b.name));
+            }
+        }
+        let old_ratios = baseline.epoch_overhead_ratios();
+        let new_ratios = self.epoch_overhead_ratios();
+        if !new_ratios.is_empty() || !old_ratios.is_empty() {
+            s.push_str("epoch overhead vs serial twin (wall ratio; non-gating)\n");
+            for (name, new) in &new_ratios {
+                match old_ratios.iter().find(|(n, _)| n == name) {
+                    Some((_, old)) => {
+                        s.push_str(&format!("{name:<20} {old:>6.2}x -> {new:>6.2}x\n"))
+                    }
+                    None => s.push_str(&format!("{name:<20}    n/a -> {new:>6.2}x\n")),
+                }
+            }
+        }
+        let diverged = self.fingerprint_mismatches(baseline);
+        if diverged.is_empty() {
+            s.push_str("fingerprints: all shared grids match\n");
+        } else {
+            s.push_str(&format!("fingerprints DIVERGED: {}\n", diverged.join(", ")));
+        }
+        s
     }
 
     /// Compares determinism fingerprints against a baseline report.
@@ -660,6 +809,7 @@ mod tests {
                 ops: 1000,
                 ops_per_sec: 83000,
                 fingerprint: "00ff".into(),
+                phases: None,
             }],
             sweep: vec![SweepRow {
                 grid: "counter-quick".into(),
@@ -725,6 +875,74 @@ mod tests {
             report.fingerprint_mismatches(&other),
             vec!["counter-quick".to_string()]
         );
+    }
+
+    #[test]
+    fn phases_roundtrip_and_compare_render() {
+        let mut report = BenchReport {
+            quick: true,
+            grids: vec![
+                GridResult {
+                    name: "list-quick".into(),
+                    what: "x".into(),
+                    wall_ms: 1000,
+                    cells: 6,
+                    ops: 1_000_000,
+                    ops_per_sec: 1_000_000,
+                    fingerprint: "00ff".into(),
+                    phases: None,
+                },
+                GridResult {
+                    name: "list-quick-epoch".into(),
+                    what: "x".into(),
+                    wall_ms: 1500,
+                    cells: 6,
+                    ops: 1_000_000,
+                    ops_per_sec: 666_000,
+                    fingerprint: "00ff".into(),
+                    phases: Some(commtm::EnginePhases {
+                        attempts: 10,
+                        commits: 8,
+                        spec_ms: 123.5,
+                        ..commtm::EnginePhases::default()
+                    }),
+                },
+            ],
+            sweep: vec![],
+            batch: vec![],
+            total_wall_ms: 2500,
+        };
+
+        // Phase accounting survives the BENCH.json round trip.
+        let back = BenchReport::from_json_str(&report.to_json().pretty()).expect("parses");
+        let p = back.grids[1].phases.as_ref().expect("phases round-trip");
+        assert_eq!(p.attempts, 10);
+        assert_eq!(p.commits, 8);
+        assert!((p.spec_ms - 123.5).abs() < 1e-9);
+        assert!(back.grids[0].phases.is_none());
+
+        // The epoch twin's overhead ratio reads off the wall times.
+        let ratios = report.epoch_overhead_ratios();
+        assert_eq!(ratios.len(), 1);
+        assert_eq!(ratios[0].0, "list-quick-epoch");
+        assert!((ratios[0].1 - 1.5).abs() < 1e-9);
+
+        // The render mentions both new sections.
+        let text = report.render();
+        assert!(text.contains("epoch engine phase accounting"));
+        assert!(text.contains("epoch overhead vs serial twin"));
+
+        // Compare against a faster baseline: deltas and matching
+        // fingerprints are reported; a divergence is called out.
+        let baseline = back;
+        report.grids[0].wall_ms = 800;
+        let cmp = report.compare_render(&baseline);
+        assert!(cmp.contains("all shared grids match"));
+        assert!(cmp.contains("-20.0%"));
+        report.grids[0].fingerprint = "beef".into();
+        let cmp = report.compare_render(&baseline);
+        assert!(cmp.contains("DIVERGED"));
+        assert!(cmp.contains("list-quick"));
     }
 
     #[test]

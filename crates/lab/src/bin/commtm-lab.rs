@@ -39,6 +39,7 @@ USAGE:
                                             unsharded run produces
     commtm-lab bench [--quick] [--machine-threads N]
                      [--out BENCH.json] [--check BASE.json]
+                     [--compare OLD.json NEW.json]
     commtm-lab verify [--all] [options]     commutativity verification:
                                             algebraic label laws + the
                                             interleaving oracle over every
@@ -628,6 +629,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
     let mut sweep_to: usize = 0;
     let mut opts = ExecOptions::default();
     let mut it = args.iter();
@@ -637,6 +639,11 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         };
         match arg.as_str() {
             "--quick" => quick = true,
+            "--compare" => {
+                let old = value("--compare")?.clone();
+                let new = value("--compare")?.clone();
+                compare = Some((old, new));
+            }
             "--machine-threads" => {
                 sweep_to = value("--machine-threads")?
                     .parse()
@@ -651,6 +658,20 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             "--progress" => opts.quiet = false,
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+
+    // `--compare old.json new.json`: render the delta table between two
+    // saved reports and exit — no grids run. Informational (the delta is
+    // for PR writeups); fingerprint divergence is called out in the table
+    // but does not gate here, `--check` does.
+    if let Some((old_path, new_path)) = compare {
+        let read = |path: &str| -> Result<BenchReport, String> {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            BenchReport::from_json_str(&text)
+        };
+        let (old, new) = (read(&old_path)?, read(&new_path)?);
+        print!("{}", new.compare_render(&old));
+        return Ok(ExitCode::SUCCESS);
     }
 
     let sweep: Vec<usize> = (1..=sweep_to).collect();

@@ -197,6 +197,7 @@ pub fn run_scenario_in(
                 error: Some(SKIPPED_FAIL_FAST.to_string()),
                 wall_ms: 0,
                 trace: None,
+                phases: None,
             })
         })
         .collect();
@@ -271,6 +272,9 @@ pub fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario
     let started = Instant::now();
     let traced = scenario.tuning.trace == Some(true);
     IN_CELL.with(|f| f.set(true));
+    // Discard any phase accounting a previous cell on this thread left
+    // behind, so a panicked or serial run can't inherit stale numbers.
+    let _ = commtm::take_engine_phases();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if traced {
             reg.run_cell_traced(cell, scenario.scale, scenario.tuning)
@@ -280,6 +284,7 @@ pub fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario
         }
     }));
     IN_CELL.with(|f| f.set(false));
+    let phases = commtm::take_engine_phases();
     let (stats, error, trace) = match outcome {
         Ok(Ok((report, trace))) => (Some(CellStats::from_report(&report)), None, trace),
         Ok(Err(e)) => (None, Some(e), None),
@@ -291,6 +296,7 @@ pub fn run_cell(reg: &registry::Registry, cell: &spec::Cell, scenario: &Scenario
         error,
         wall_ms: started.elapsed().as_millis() as u64,
         trace,
+        phases,
     }
 }
 
@@ -311,14 +317,32 @@ fn progress_line(result: &CellResult, finished: usize, total: usize) {
         (None, Some(e)) => format!("FAILED: {}", e.lines().next().unwrap_or("?")),
         (None, None) => "FAILED".to_string(),
     };
+    // Under the epoch engine, append the per-phase host-cost split so a
+    // `run --machine-threads N` shows where each cell's wall time went.
+    let phases = match &result.phases {
+        Some(p) => format!(
+            " [epochs: {}/{} committed, {} parks | spec={:.0}ms clone={:.0}ms validate={:.0}ms replay={:.0}ms serial={:.0}ms sync={:.0}ms]",
+            p.commits,
+            p.attempts,
+            p.parks,
+            p.spec_ms,
+            p.clone_ms,
+            p.validate_ms,
+            p.replay_ms,
+            p.serial_ms,
+            p.sync_ms
+        ),
+        None => String::new(),
+    };
     eprintln!(
-        "[{finished}/{total}] {} t={} {} seed={:#x}: {} ({} ms)",
+        "[{finished}/{total}] {} t={} {} seed={:#x}: {} ({} ms){}",
         cell.label,
         cell.threads,
         scheme_name(cell.scheme),
         cell.seed,
         outcome,
-        result.wall_ms
+        result.wall_ms,
+        phases
     );
 }
 

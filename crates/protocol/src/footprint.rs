@@ -25,6 +25,15 @@
 
 use commtm_mem::{CoreId, FxHashSet};
 
+/// The 64-bit Bloom-style summary bit of one packed set/line key.
+/// Fibonacci-hashing spreads the dense low-entropy indices the protocol
+/// produces (consecutive sets, consecutive heap lines) across all 64 mask
+/// positions before the top six bits pick the bit.
+#[inline]
+fn summary_bit(key: u64) -> u64 {
+    1u64 << (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
+}
+
 /// A recorded set of shared-structure touches (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct Footprint {
@@ -39,6 +48,13 @@ pub struct Footprint {
     l3_sets: FxHashSet<u64>,
     /// Touched main-memory lines (raw line indices).
     mem_lines: FxHashSet<u64>,
+    /// OR of [`summary_bit`] over `l3_sets` / `mem_lines`: a one-word
+    /// overlap prefilter. Disjoint masks *prove* disjoint sets (every
+    /// element sets its bit, so a common element forces a common bit);
+    /// overlapping masks are inconclusive and callers fall back to the
+    /// exact comparison. See [`Footprint::summary_disjoint`].
+    l3_mask: u64,
+    mem_mask: u64,
     /// Draws from the protocol's internal RNG.
     rng_draws: u64,
     /// Per-core attribution of L3-set touches, recorded only when
@@ -62,6 +78,8 @@ impl Footprint {
         self.foreign = false;
         self.l3_sets.clear();
         self.mem_lines.clear();
+        self.l3_mask = 0;
+        self.mem_mask = 0;
         self.rng_draws = 0;
         self.per_core_l3.clear();
         self.actor = 0;
@@ -117,6 +135,7 @@ impl Footprint {
         }
         let key = ((bank as u64) << 32) | set as u64;
         self.l3_sets.insert(key);
+        self.l3_mask |= summary_bit(key);
         if self.tracking_cores {
             self.per_core_l3.insert((self.actor, key));
         }
@@ -128,6 +147,21 @@ impl Footprint {
             return;
         }
         self.mem_lines.insert(line);
+        self.mem_mask |= summary_bit(line);
+    }
+
+    /// Records an L3-set touch directly. Test/bench support: protocol
+    /// paths go through the internal capture hooks; property tests and
+    /// microbenches build footprints from outside the crate. Capture must
+    /// be enabled ([`Footprint::reset`]) or the call is a no-op, exactly
+    /// like the internal hook.
+    pub fn record_l3(&mut self, bank: usize, set: usize) {
+        self.l3(bank, set);
+    }
+
+    /// Records a memory-line touch directly (see [`Footprint::record_l3`]).
+    pub fn record_mem(&mut self, line: u64) {
+        self.mem(line);
     }
 
     #[inline]
@@ -173,14 +207,37 @@ impl Footprint {
         self.cores |= other.cores;
         self.l3_sets.extend(other.l3_sets.iter().copied());
         self.mem_lines.extend(other.mem_lines.iter().copied());
+        self.l3_mask |= other.l3_mask;
+        self.mem_mask |= other.mem_mask;
         self.rng_draws += other.rng_draws;
         self.per_core_l3.extend(other.per_core_l3.iter().copied());
+    }
+
+    /// Number of shared-structure elements recorded (touched L3 sets plus
+    /// memory lines) — the cost driver of healing a worker clone with
+    /// `MemSystem::absorb_worker`, which the epoch engine weighs against
+    /// the flat cost of a fresh copy-on-write clone.
+    pub fn shared_len(&self) -> usize {
+        self.l3_sets.len() + self.mem_lines.len()
+    }
+
+    /// Constant-time overlap prefilter over the one-word summary masks:
+    /// `true` *proves* the shared parts are disjoint — no false negatives,
+    /// since every recorded element ORs its `summary_bit` into the mask,
+    /// so any common element would force a common bit. `false` is
+    /// inconclusive (hash collisions) and callers fall back to the exact
+    /// set comparison in [`Footprint::disjoint_shared`].
+    pub fn summary_disjoint(&self, other: &Footprint) -> bool {
+        self.l3_mask & other.l3_mask == 0 && self.mem_mask & other.mem_mask == 0
     }
 
     /// Whether the shared-structure parts (L3 sets, memory lines) of two
     /// footprints are disjoint. Core sets are checked separately via
     /// [`Footprint::touched_foreign`] / [`Footprint::cores`].
     pub fn disjoint_shared(&self, other: &Footprint) -> bool {
+        if self.summary_disjoint(other) {
+            return true;
+        }
         let (small, large) = if self.l3_sets.len() <= other.l3_sets.len() {
             (&self.l3_sets, &other.l3_sets)
         } else {

@@ -787,6 +787,14 @@ impl MemSystem {
         let identity = def.identity();
         let nsharers = sharers.len();
 
+        // The requester-side fold accumulates in a register copy: donations
+        // merge into `mine` across the whole donor loop and the private
+        // copy is written back once, instead of a peek/reduce/write-back
+        // round-trip per donor. Handlers cannot touch the gathered line
+        // itself (it is in U state, which handler accesses reject), so no
+        // donor-side split can observe or change the requester's copy
+        // mid-flow and the single write-back is behavior-identical.
+        let mut mine = self.priv_nonspec(core, line);
         let mut par = 0u64;
         let mut merges = 0u64;
         for t in sharers.iter() {
@@ -814,9 +822,7 @@ impl MemSystem {
             self.set_nonspec_value(t, line, local);
             self.stats.core_mut(t).splits += 1;
 
-            let mut mine = self.priv_nonspec(core, line);
             self.run_reduce(core, label, &mut mine, &donation, txs, acc);
-            self.set_nonspec_value(core, line, mine);
             merges += 1;
             par = par.max(
                 self.cfg.mesh.bank_to_core(bank, t)
@@ -824,6 +830,9 @@ impl MemSystem {
                     + self.cfg.split_cycles
                     + self.cfg.mesh.core_to_core(t, core),
             );
+        }
+        if merges > 0 {
+            self.set_nonspec_value(core, line, mine);
         }
         acc.lat(par + merges * self.cfg.reduce_cycles);
         // Directory state is unchanged: donors and requester all stay in U.

@@ -2,7 +2,7 @@
 //! debug runs.
 
 use commtm_cache::CohState;
-use commtm_mem::CoreId;
+use commtm_mem::{CoreId, FxHashMap, LineAddr, SharerSet};
 
 use crate::dir::DirState;
 
@@ -88,15 +88,35 @@ impl MemSystem {
             }
         }
 
+        // Directory-side containment checks need "which cores hold this
+        // line privately" per L3 line. Probing every core's L2 for every
+        // line is O(lines × cores) — at 128 cores over a list-sized
+        // footprint that is millions of set scans — so build the residency
+        // relation once from the private side and answer each containment
+        // question with a single map lookup.
+        let mut residents: FxHashMap<LineAddr, SharerSet> = FxHashMap::default();
+        for (ci, p) in self.privs.iter().enumerate() {
+            let core = CoreId::new(ci);
+            for e in p.l2.iter() {
+                residents.entry(e.tag).or_default().insert(core);
+            }
+        }
+        let foreign_resident = |line: LineAddr, allowed: &SharerSet| -> Option<CoreId> {
+            residents
+                .get(&line)
+                .and_then(|s| s.iter().find(|t| !allowed.contains(*t)))
+        };
+
         for bank in &self.l3 {
             for e in bank.iter() {
                 let line = e.tag;
                 match e.meta.dir {
                     DirState::Uncached => {
-                        for (ci, p) in self.privs.iter().enumerate() {
-                            if p.l2.contains(line) {
-                                return Err(format!("uncached line {line} resident at core{ci}"));
-                            }
+                        if let Some(t) = foreign_resident(line, &SharerSet::default()) {
+                            return Err(format!(
+                                "uncached line {line} resident at core{}",
+                                t.index()
+                            ));
                         }
                     }
                     DirState::Shared(s) => {
@@ -119,12 +139,11 @@ impl MemSystem {
                                 "directory says {o} owns {line} but its state is {st}"
                             ));
                         }
-                        for (ci, p) in self.privs.iter().enumerate() {
-                            if ci != o.index() && p.l2.contains(line) {
-                                return Err(format!(
-                                    "exclusive line {line} also resident at core{ci}"
-                                ));
-                            }
+                        if let Some(t) = foreign_resident(line, &SharerSet::single(o)) {
+                            return Err(format!(
+                                "exclusive line {line} also resident at core{}",
+                                t.index()
+                            ));
                         }
                     }
                     DirState::Reducible(l, s) => {
@@ -140,12 +159,11 @@ impl MemSystem {
                                 ));
                             }
                         }
-                        for (ci, p) in self.privs.iter().enumerate() {
-                            if !s.contains(CoreId::new(ci)) && p.l2.contains(line) {
-                                return Err(format!(
-                                    "reducible line {line} resident at non-sharer core{ci}"
-                                ));
-                            }
+                        if let Some(t) = foreign_resident(line, &s) {
+                            return Err(format!(
+                                "reducible line {line} resident at non-sharer core{}",
+                                t.index()
+                            ));
                         }
                     }
                 }

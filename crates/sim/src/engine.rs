@@ -81,6 +81,36 @@ const HOLD_GROWTH: u64 = 8;
 /// clones later) costs more than simply re-cloning at the next, rare,
 /// speculation attempt.
 const HOLD_RECLONE: u64 = 512 << 10;
+/// Above this accumulated stale-footprint size (touched L3 sets plus
+/// memory lines, [`commtm_protocol::Footprint::shared_len`]) healing a
+/// kept clone in place — copying every stale set and line from the base,
+/// per clone — costs more than a fresh copy-on-write clone, so the
+/// attempt rebuilds the clones instead of healing them.
+const HEAL_LIMIT: usize = 4 << 10;
+/// After this many *consecutive* conflicted epochs the engine stops
+/// maintaining worker clones until a speculation commits again: the
+/// observed conflict rate says upcoming speculation will likely fail too,
+/// so serial replays and backoff stretches run capture-free at full speed
+/// (capture roughly halves simulation throughput) and the next attempt
+/// simply re-clones from the base.
+const CONFLICT_STREAK_LIMIT: u32 = 2;
+/// After this many *unprofitable* committed epochs since the last
+/// clearly-profitable one — commits whose clone-upkeep + validation +
+/// absorption overhead exceeded the wall-clock the parallel stepping
+/// could have saved — the engine parks speculation for `probe_interval`
+/// simulated cycles and probes again, doubling the interval (up to
+/// `PROBE_MAX`) each time a probe confirms speculation still loses.
+/// Conflict streaks (see above) park the same way: retrying a persistent
+/// loser every few thousand cycles rebuilds clones over and over for
+/// nothing.
+const UNPROFITABLE_STREAK_LIMIT: u32 = 2;
+const PROBE_MIN: u64 = 1 << 23;
+const PROBE_MAX: u64 = 1 << 26;
+/// Commits with less measured overhead than this (milliseconds) never
+/// count toward parking: where clone upkeep and absorption are cheap
+/// (small-footprint workloads), speculation is harmless even when one
+/// noisy sample looks momentarily unprofitable.
+const PARK_OVERHEAD_FLOOR_MS: f64 = 2.0;
 
 /// The mutable machine state an engine drives (split-borrowed out of
 /// [`crate::Machine`] for the duration of a run).
@@ -365,20 +395,86 @@ fn install_quiet_speculation_hook() {
     });
 }
 
-/// Epoch-engine observability counters (stderr dump, env-gated).
-#[derive(Default)]
-struct EngineStats {
-    attempts: u64,
-    commits: u64,
-    fallbacks: u64,
-    serial_stretches: u64,
-    clone_builds: u64,
-    heals: u64,
-    repartitions: u64,
-    spec_ms: f64,
-    replay_ms: f64,
-    serial_ms: f64,
-    sync_ms: f64,
+/// Per-phase host-cost accounting for one epoch-engine run: where the
+/// engine's wall-clock time went (speculative stepping, epoch validation,
+/// serial replay of conflicted epochs, backoff stretches, clone
+/// maintenance) and how often each phase ran.
+///
+/// Timing-tier observability only: host times are non-deterministic, so
+/// this never enters canonical results — determinism goldens and bench
+/// fingerprints are computed over the timing-free result JSON, which
+/// excludes it by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnginePhases {
+    /// Speculative epoch attempts.
+    pub attempts: u64,
+    /// Attempts that validated and committed.
+    pub commits: u64,
+    /// Attempts that conflicted and fell back to serial replay.
+    pub fallbacks: u64,
+    /// Serial stretches run between attempts (backoff and the tail).
+    pub serial_stretches: u64,
+    /// Full worker-clone (re)builds.
+    pub clone_builds: u64,
+    /// In-place heals of kept clones from the accumulated stale footprint.
+    pub heals: u64,
+    /// Adaptive regroupings of the core → worker assignment.
+    pub repartitions: u64,
+    /// Times speculation was parked (persistent conflicts or commits
+    /// whose overhead exceeded the parallel-stepping saving).
+    pub parks: u64,
+    /// Wall milliseconds stepping speculative epochs.
+    pub spec_ms: f64,
+    /// Wall milliseconds maintaining worker clones (building fresh ones,
+    /// healing kept ones) at attempt start.
+    pub clone_ms: f64,
+    /// Wall milliseconds validating epochs (footprint disjointness).
+    pub validate_ms: f64,
+    /// Wall milliseconds serially replaying conflicted epochs.
+    pub replay_ms: f64,
+    /// Wall milliseconds in serial backoff/tail stretches.
+    pub serial_ms: f64,
+    /// Wall milliseconds absorbing committed epochs into the base system.
+    pub sync_ms: f64,
+}
+
+impl EnginePhases {
+    /// Adds `other`'s counters and times into `self` — aggregation across
+    /// the cells of a sweep or bench grid.
+    pub fn accumulate(&mut self, other: &EnginePhases) {
+        self.attempts += other.attempts;
+        self.commits += other.commits;
+        self.fallbacks += other.fallbacks;
+        self.serial_stretches += other.serial_stretches;
+        self.clone_builds += other.clone_builds;
+        self.heals += other.heals;
+        self.repartitions += other.repartitions;
+        self.parks += other.parks;
+        self.spec_ms += other.spec_ms;
+        self.clone_ms += other.clone_ms;
+        self.validate_ms += other.validate_ms;
+        self.replay_ms += other.replay_ms;
+        self.serial_ms += other.serial_ms;
+        self.sync_ms += other.sync_ms;
+    }
+}
+
+thread_local! {
+    /// Phase accounting of the most recent epoch-engine run on this
+    /// thread. A machine runs on its caller's thread, so harnesses (the
+    /// sweep executor, benches) collect this right after `Machine::run`
+    /// returns via [`take_engine_phases`].
+    static LAST_PHASES: std::cell::Cell<Option<EnginePhases>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Takes (returns and clears) the phase accounting of the last
+/// epoch-engine run on the calling thread. `None` when the last run used
+/// the serial engine (it has no phases) or the accounting was already
+/// taken. `Machine::run` clears the slot before starting, so a stale
+/// value from an earlier run on the same thread is never misattributed.
+pub fn take_engine_phases() -> Option<EnginePhases> {
+    LAST_PHASES.with(std::cell::Cell::take)
 }
 
 impl Engine for EpochEngine {
@@ -397,7 +493,46 @@ impl Engine for EpochEngine {
             ncores <= 128,
             "footprint core masks cap the architecture at 128 cores"
         );
+        let mut st = EnginePhases::default();
+        let result = self.run_epochs(m, nworkers, &mut st);
+        if engine_stats_enabled() {
+            eprintln!(
+                "[engine] cores={} workers={} attempts={} commits={} fallbacks={} \
+                 stretches={} clones={} heals={} repartitions={} parks={} spec={:.1}ms \
+                 clone={:.1}ms validate={:.1}ms replay={:.1}ms serial={:.1}ms sync={:.1}ms",
+                ncores,
+                nworkers,
+                st.attempts,
+                st.commits,
+                st.fallbacks,
+                st.serial_stretches,
+                st.clone_builds,
+                st.heals,
+                st.repartitions,
+                st.parks,
+                st.spec_ms,
+                st.clone_ms,
+                st.validate_ms,
+                st.replay_ms,
+                st.serial_ms,
+                st.sync_ms
+            );
+        }
+        LAST_PHASES.with(|c| c.set(Some(st)));
+        result
+    }
+}
 
+impl EpochEngine {
+    /// The epoch loop behind [`Engine::run`], accounting each phase's
+    /// host cost into `st`.
+    fn run_epochs(
+        &self,
+        m: &mut EngineCtx<'_>,
+        nworkers: usize,
+        st: &mut EnginePhases,
+    ) -> Result<(), SimError> {
+        let ncores = m.cores.len();
         // Core → worker assignment, starting contiguous and (optionally)
         // regrouped from committed-epoch footprints later. Stability
         // matters between regroupings: a worker's clone only keeps *its
@@ -437,7 +572,21 @@ impl Engine for EpochEngine {
         // the clones before they can be trusted again.
         let mut stale = commtm_protocol::Footprint::default();
         let mut clones_dirty = false;
-        let mut st = EngineStats::default();
+        // Consecutive conflicted attempts since the last commit — the
+        // engine's live estimate of the current conflict rate (see
+        // [`CONFLICT_STREAK_LIMIT`]).
+        let mut conflict_streak: u32 = 0;
+        // Successful speculation is not automatically *profitable*: a
+        // workload whose epochs commit with huge footprints (e.g. LIST
+        // enqueues streaming through memory) can pay more moving state
+        // between the clones and the base than parallel stepping saves.
+        // Each commit therefore weighs its measured overhead against the
+        // most the stepping could have saved; persistent losers park
+        // speculation until `spec_probe_after`, with geometrically growing
+        // probe intervals (see `UNPROFITABLE_STREAK_LIMIT`).
+        let mut unprofitable_streak: u32 = 0;
+        let mut spec_probe_after: u64 = 0;
+        let mut probe_interval: u64 = PROBE_MIN;
 
         loop {
             let min_clock = m
@@ -448,28 +597,14 @@ impl Engine for EpochEngine {
                 .map(|c| c.clock())
                 .min();
             let Some(min_clock) = min_clock else {
-                if engine_stats_enabled() {
-                    eprintln!(
-                        "[engine] cores={} workers={} attempts={} commits={} fallbacks={} \
-                         stretches={} clones={} heals={} repartitions={} spec={:.1}ms \
-                         replay={:.1}ms serial={:.1}ms sync={:.1}ms",
-                        ncores,
-                        nworkers,
-                        st.attempts,
-                        st.commits,
-                        st.fallbacks,
-                        st.serial_stretches,
-                        st.clone_builds,
-                        st.heals,
-                        st.repartitions,
-                        st.spec_ms,
-                        st.replay_ms,
-                        st.serial_ms,
-                        st.sync_ms
-                    );
-                }
                 return Ok(()); // all programs finished
             };
+            // Speculation parked as unprofitable? Run the interval out
+            // serially (capture-free: the park dropped the clones), then
+            // probe again.
+            if hold_cycles == 0 && min_clock < spec_probe_after {
+                hold_cycles = spec_probe_after - min_clock;
+            }
 
             // Which workers still have live cores?
             let live_workers = (0..nworkers)
@@ -522,7 +657,6 @@ impl Engine for EpochEngine {
 
             // --- Speculative parallel epoch ---
             st.attempts += 1;
-            let t_spec = std::time::Instant::now();
             debug_assert!(
                 *m.next_ts < TS_PLACEHOLDER_BASE,
                 "timestamp counter ran into the placeholder range"
@@ -537,9 +671,19 @@ impl Engine for EpochEngine {
                         .map(|c| (i, c.checkpoint()))
                 })
                 .collect();
+            let t_clone = std::time::Instant::now();
             let worker_sys = match clones.take() {
                 Some(mut kept) => {
-                    if clones_dirty {
+                    if clones_dirty && stale.shared_len() > HEAL_LIMIT {
+                        // The accumulated drift is large enough that
+                        // copying it set-by-set into every clone costs
+                        // more than starting over: a fresh clone shares
+                        // the L3 tag arrays copy-on-write and block-copies
+                        // the memory map.
+                        st.clone_builds += 1;
+                        kept.clear();
+                        kept.extend((0..nworkers).map(|_| m.sys.clone()));
+                    } else if clones_dirty {
                         st.heals += 1;
                         // Heal in place: copy every core's private caches
                         // and stats plus every stale L3 set / memory line
@@ -559,6 +703,9 @@ impl Engine for EpochEngine {
             };
             stale = commtm_protocol::Footprint::default();
             clones_dirty = false;
+            let clone_dt = t_clone.elapsed().as_secs_f64() * 1e3;
+            st.clone_ms += clone_dt;
+            let t_spec = std::time::Instant::now();
 
             // Partition the cores into per-worker borrow lists.
             let mut parts: Vec<Vec<(usize, &mut CoreExec)>> =
@@ -657,7 +804,9 @@ impl Engine for EpochEngine {
                 }
             });
 
-            st.spec_ms += t_spec.elapsed().as_secs_f64() * 1e3;
+            let spec_dt = t_spec.elapsed().as_secs_f64() * 1e3;
+            st.spec_ms += spec_dt;
+            let t_validate = std::time::Instant::now();
             let conflict = panicked
                 || outs.iter().any(|o| o.foreign || o.error.is_some())
                 || outs
@@ -666,19 +815,36 @@ impl Engine for EpochEngine {
                     .count()
                     > 1
                 || !pairwise_disjoint(&outs);
+            let validate_dt = t_validate.elapsed().as_secs_f64() * 1e3;
+            st.validate_ms += validate_dt;
 
             if conflict {
                 st.fallbacks += 1;
+                conflict_streak += 1;
                 let t_replay = std::time::Instant::now();
                 // Roll every core back and replay the epoch serially on
                 // the real state — the reference semantics decide.
                 for (i, cp) in checkpoints {
                     m.cores[i].as_mut().expect("program installed").restore(cp);
                 }
-                if panicked {
-                    // A worker died without handing its footprint back, so
-                    // the extent of its clone's garbage is unknown.
+                if panicked || conflict_streak >= CONFLICT_STREAK_LIMIT {
+                    // Either a worker died without handing its footprint
+                    // back (the extent of its clone's garbage is unknown),
+                    // or conflicts are persistent and the observed rate
+                    // says keeping clones in sync is wasted work. Dropping
+                    // them makes the replay below and the following
+                    // backoff stretches capture-free — full-speed serial
+                    // execution — at the price of one cheap copy-on-write
+                    // re-clone if speculation is ever attempted again.
                     clones = None;
+                    if conflict_streak >= CONFLICT_STREAK_LIMIT {
+                        // Park outright: retrying every few thousand
+                        // cycles would rebuild the clones each time just
+                        // to conflict again.
+                        st.parks += 1;
+                        spec_probe_after = min_clock.saturating_add(probe_interval);
+                        probe_interval = probe_interval.saturating_mul(2).min(PROBE_MAX);
+                    }
                 } else {
                     // Keep the clones; remember the regions the failed
                     // speculation polluted so the next attempt heals them.
@@ -715,6 +881,7 @@ impl Engine for EpochEngine {
 
             // --- Commit: absorb worker effects into the base system ---
             st.commits += 1;
+            conflict_streak = 0;
             let t_sync = std::time::Instant::now();
             for (w, o) in outs.iter().enumerate() {
                 m.sys
@@ -778,18 +945,19 @@ impl Engine for EpochEngine {
                 }
             }
 
-            // Resync the clones with everything this epoch changed — the
-            // union of all workers' touched L3 sets and memory lines,
-            // copied from the freshly-merged base — plus the base RNG, so
-            // the next speculative epoch starts from shared state equal to
-            // the base. Foreign private caches may stay stale: touching
-            // them is a conflict by definition, so staleness is never
-            // observable in a committed epoch. (Transaction tables are
-            // re-cloned from the base at every attempt, so they need no
-            // patching here.)
-            let mut kept: Vec<MemSystem> = outs.into_iter().map(|o| o.sys).collect();
-            let footprints: Vec<commtm_protocol::Footprint> =
-                kept.iter().map(|s| s.footprint().clone()).collect();
+            // Keep the clones but *defer* their resync: merge the workers'
+            // footprints into `stale` and let the next attempt's heal (one
+            // union absorb per clone) — or a fresh copy-on-write clone
+            // when the union has grown past [`HEAL_LIMIT`], or nothing at
+            // all if the clones are dropped first — bring them up to date.
+            // Eagerly absorbing every worker footprint into every clone
+            // here (the previous design) dominated epoch-engine wall time
+            // on workloads with large footprints. Foreign private caches
+            // may stay stale between heals: touching them is a conflict by
+            // definition, so staleness is never observable in a committed
+            // epoch. (Transaction tables are re-cloned from the base at
+            // every attempt, so they need no patching at all.)
+            let kept: Vec<MemSystem> = outs.into_iter().map(|o| o.sys).collect();
 
             // Feed this committed epoch's per-core L3 attribution into the
             // partitioner window and regroup if the observed sharing
@@ -800,8 +968,8 @@ impl Engine for EpochEngine {
             let mut repartitioned = false;
             if self.adaptive {
                 let mut per_core: Vec<Vec<u64>> = vec![Vec::new(); ncores];
-                for fp in &footprints {
-                    for (c, k) in fp.per_core_l3() {
+                for s in &kept {
+                    for (c, k) in s.footprint().per_core_l3() {
                         per_core[c].push(k);
                     }
                 }
@@ -841,15 +1009,49 @@ impl Engine for EpochEngine {
                 // arrays are shared copy-on-write).
                 clones = None;
             } else {
-                for clone in &mut kept {
-                    for fp in &footprints {
-                        clone.absorb_worker(m.sys, fp, 0);
-                    }
-                    clone.adopt_rng(m.sys);
+                for s in &kept {
+                    stale.merge(s.footprint());
                 }
                 clones = Some(kept);
+                clones_dirty = true;
             }
-            st.sync_ms += t_sync.elapsed().as_secs_f64() * 1e3;
+            let sync_dt = t_sync.elapsed().as_secs_f64() * 1e3;
+            st.sync_ms += sync_dt;
+
+            // Was this committed epoch worth its overhead? With
+            // `nworkers` workers the parallel stepping can save at most
+            // `spec_dt × (nworkers - 1)` of wall-clock over stepping the
+            // same cores serially — less in practice, since capture
+            // overhead slows speculative stepping, so halve the bound to
+            // be conservative. When the epoch's measurable overhead
+            // (clone upkeep, validation, absorbing results into the base)
+            // exceeds that ceiling, committing epochs is costing host
+            // time, not saving it; persistent losers park speculation.
+            // Was this committed epoch worth its overhead? Stepping the
+            // epoch's cores serially would have cost roughly the workers'
+            // parallel stepping time × nworkers, minus the ~2× capture
+            // penalty speculative stepping pays — so the realistic saving
+            // is about `spec_dt × (nworkers/2 - 1)`. When the epoch's
+            // measurable overhead (clone upkeep, validation, absorbing
+            // results into the base) exceeds that, committing epochs
+            // costs host time instead of saving it.
+            let overhead = clone_dt + validate_dt + sync_dt;
+            let saving_bound = spec_dt * (nworkers as f64 / 2.0 - 1.0).max(0.5);
+            if overhead > saving_bound && overhead > PARK_OVERHEAD_FLOOR_MS {
+                unprofitable_streak += 1;
+                if unprofitable_streak >= UNPROFITABLE_STREAK_LIMIT {
+                    st.parks += 1;
+                    clones = None;
+                    spec_probe_after = min_clock.saturating_add(probe_interval);
+                    probe_interval = probe_interval.saturating_mul(2).min(PROBE_MAX);
+                    unprofitable_streak = 0;
+                }
+            } else if overhead * 2.0 < saving_bound {
+                // Only a clear win resets the streak: borderline commits
+                // alternating around break-even must not keep speculation
+                // limping on forever.
+                unprofitable_streak = 0;
+            }
 
             hold_cycles = 0;
             next_hold = HOLD_MIN;

@@ -284,6 +284,9 @@ impl Machine {
                 return Err(SimError::MissingProgram { core: i });
             }
         }
+        // Clear any per-thread phase accounting left by an earlier run so
+        // `take_engine_phases` after this run never reports stale data.
+        let _ = crate::engine::take_engine_phases();
 
         if self.cfg.trace {
             let scheme = match self.cfg.htm.scheme {
